@@ -1,0 +1,28 @@
+# Convenience targets for the COP reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench results report examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every table/figure (REPRO_SCALE=smoke|small|full).
+results:
+	$(PYTHON) -m repro.experiments.cli all
+
+report:
+	$(PYTHON) -m repro.experiments.cli report
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+clean:
+	rm -rf results .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,81 @@
+"""All six protection schemes head-to-head (the Section 2 landscape).
+
+Normalized IPC and DRAM row-hit rate across the design space the paper
+situates COP in:
+
+* ECC-Region (Virtualized-ECC-like): extra metadata access, far away;
+* embedded ECC (Zheng et al.): extra metadata access, same DRAM row —
+  the paper credits it with *improved ECC access latency*, which shows up
+  here as a clearly higher row-hit rate (the metadata access opens no new
+  row).  Interestingly, with metadata cached in the shared LLC the
+  latency win does not become an IPC win: the region baseline's
+  contiguous metadata enjoys better cache reuse under channel-interleaved
+  addressing.  The paper makes no IPC claim for embedded ECC, so we
+  assert only what it does claim.
+* MemZip (Shafiee et al.): metadata access only for incompressible
+  blocks, but dedicated tracking metadata and reserved space;
+* COP / COP-ER: no reservation, no tracking metadata, (almost) no extra
+  accesses.
+"""
+
+from conftest import run_experiment  # noqa: F401 (uniform import style)
+
+from repro.core.controller import ProtectionMode
+from repro.experiments.common import Scale, geomean
+from repro.experiments.simruns import run_benchmark
+
+_BENCHMARKS = ("mcf", "lbm", "canneal")
+_MODES = (
+    ProtectionMode.UNPROTECTED,
+    ProtectionMode.COP,
+    ProtectionMode.COP_ER,
+    ProtectionMode.MEMZIP,
+    ProtectionMode.EMBEDDED_ECC,
+    ProtectionMode.ECC_REGION,
+)
+
+
+def test_baseline_comparison(benchmark, sim_scale):
+    def sweep():
+        normalized = {mode: [] for mode in _MODES}
+        row_hits = {mode: [] for mode in _MODES}
+        for name in _BENCHMARKS:
+            perfs = {
+                mode: run_benchmark(
+                    name, mode, sim_scale, cores=4, track=False
+                ).perf
+                for mode in _MODES
+            }
+            base = perfs[ProtectionMode.UNPROTECTED].ipc
+            for mode in _MODES:
+                normalized[mode].append(perfs[mode].ipc / base)
+                row_hits[mode].append(perfs[mode].row_hit_rate)
+        return (
+            {mode: geomean(vals) for mode, vals in normalized.items()},
+            {mode: sum(v) / len(v) for mode, v in row_hits.items()},
+        )
+
+    ipc, row_hit = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(f"  {'scheme':14s} {'norm. IPC':>10s} {'row-hit':>9s}")
+    for mode in sorted(_MODES, key=lambda m: -ipc[m]):
+        print(f"  {mode.value:14s} {ipc[mode]:10.3f} {row_hit[mode]:9.1%}")
+
+    # COP and COP-ER beat every metadata-access baseline (Fig. 11's story
+    # extended across the Section 2 landscape).
+    for baseline in (
+        ProtectionMode.MEMZIP,
+        ProtectionMode.EMBEDDED_ECC,
+        ProtectionMode.ECC_REGION,
+    ):
+        assert ipc[ProtectionMode.COP] > ipc[baseline] - 0.01
+        assert ipc[ProtectionMode.COP_ER] > ipc[baseline] - 0.01
+    # MemZip's compression removes most metadata accesses: it clearly
+    # beats both always-touch-metadata layouts.
+    assert ipc[ProtectionMode.MEMZIP] > ipc[ProtectionMode.EMBEDDED_ECC]
+    assert ipc[ProtectionMode.MEMZIP] > ipc[ProtectionMode.ECC_REGION]
+    # The paper's embedded-ECC claim: better ECC access *latency* — its
+    # metadata accesses land in already-open rows.
+    assert row_hit[ProtectionMode.EMBEDDED_ECC] > row_hit[
+        ProtectionMode.ECC_REGION
+    ]

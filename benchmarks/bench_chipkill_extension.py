@@ -1,0 +1,20 @@
+"""Benchmarks the COP-chipkill future-work exploration."""
+
+from conftest import run_experiment
+
+from repro.experiments import chipkill_ext
+from repro.workloads.profiles import MEMORY_INTENSIVE
+
+
+def test_chipkill_extension(benchmark, sim_scale):
+    table = run_experiment(
+        benchmark, chipkill_ext.run, sim_scale, "chipkill_ext"
+    )
+    n = len(MEMORY_INTENSIVE)
+    cop = table.column("COP 6.25% cov.")[:n]
+    chip = table.column("Chipkill 25% cov.")[:n]
+    survival = table.column("Chip-fail survival")[:n]
+    # The trade-off: the 25% target covers fewer blocks than 6.25%.
+    assert sum(chip) / n < sum(cop) / n
+    # But every protected block survives a whole-chip failure.
+    assert all(s == 1.0 for s in survival)

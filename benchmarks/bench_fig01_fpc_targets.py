@@ -1,0 +1,18 @@
+"""Regenerates Figure 1: FPC compressibility vs target compression ratio."""
+
+from conftest import run_experiment
+
+from repro.experiments import fig01_fpc_targets
+
+
+def test_fig01_fpc_target_curves(benchmark, fast_scale):
+    table = run_experiment(
+        benchmark, fig01_fpc_targets.run, fast_scale, "fig01_fpc_targets"
+    )
+    libq = dict(table.rows)["libquantum"]
+    # The figure's signature: libquantum compresses mostly at low targets.
+    assert libq[1] > 0.5, "most libquantum blocks should compress ~10%"
+    assert libq[5] < 0.2, "libquantum should look incompressible at 50%"
+    # Curves are monotonically non-increasing in the target ratio.
+    for label, values in table.rows:
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:])), label

@@ -1,0 +1,19 @@
+"""Regenerates Figure 8: per-scheme compressibility freeing 8 bytes."""
+
+from conftest import run_experiment
+
+from repro.experiments import fig08_compress_8b
+from repro.workloads.profiles import MEMORY_INTENSIVE
+
+
+def test_fig08_compressibility_8byte(benchmark, fast_scale):
+    table = run_experiment(
+        benchmark, fig08_compress_8b.run, fast_scale, "fig08_compress_8b"
+    )
+    # TXT cannot free 66 bits, so the 8-byte suite is MSB+RLE (+FPC ref).
+    assert "TXT" not in table.columns
+    combined = table.column("MSB+RLE")[: len(MEMORY_INTENSIVE)]
+    msb = table.column("MSB")[: len(MEMORY_INTENSIVE)]
+    rle = table.column("RLE")[: len(MEMORY_INTENSIVE)]
+    for c, m, r in zip(combined, msb, rle):
+        assert c >= max(m, r) - 1e-9, "combined must dominate its members"

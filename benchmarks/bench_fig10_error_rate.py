@@ -1,0 +1,24 @@
+"""Regenerates Figure 10: soft-error-rate reduction of COP and COP-ER."""
+
+from conftest import run_experiment
+
+from repro.experiments import fig10_error_rate
+from repro.workloads.profiles import MEMORY_INTENSIVE
+
+
+def test_fig10_error_rate_reduction(benchmark, sim_scale):
+    table = run_experiment(
+        benchmark, fig10_error_rate.run, sim_scale, "fig10_error_rate"
+    )
+    n = len(MEMORY_INTENSIVE)
+    cop8 = table.column("COP 8-byte")[:n]
+    cop4 = table.column("COP 4-byte")[:n]
+    coper = table.column("COP-ER 4-byte")[:n]
+    # Paper: the 4-byte variant protects more blocks than the 8-byte one,
+    # averaging ~93%; COP-ER corrects all single-bit errors (~100%).
+    assert sum(cop4) / n > 0.8
+    assert sum(cop4) / n > sum(cop8) / n
+    assert all(c >= 0.999 for c in coper)
+    # Reductions are proper fractions.
+    for values in (cop8, cop4, coper):
+        assert all(0.0 <= v <= 1.0 for v in values)

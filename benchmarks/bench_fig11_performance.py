@@ -1,0 +1,21 @@
+"""Regenerates Figure 11: normalized IPC across protection schemes."""
+
+from conftest import run_experiment
+
+from repro.experiments import fig11_performance
+
+
+def test_fig11_normalized_ipc(benchmark, sim_scale):
+    table = run_experiment(
+        benchmark, fig11_performance.run, sim_scale, "fig11_performance"
+    )
+    unprot, cop, coper, ecc_reg = table.row("Geomean")
+    assert abs(unprot - 1.0) < 1e-9
+    # COP costs only the 4-cycle decompress latency: a few percent at most.
+    assert cop > 0.9
+    # COP-ER adds ECC-entry traffic for incompressible blocks only.
+    assert coper <= cop + 1e-9
+    # The ECC-Region baseline touches ECC metadata on every miss and
+    # writeback; the paper reports COP-ER ~8% ahead of it.
+    assert ecc_reg < coper
+    assert coper / ecc_reg > 1.02

@@ -1,0 +1,21 @@
+"""Regenerates Figure 12: COP-ER ECC-region storage reduction."""
+
+from conftest import run_experiment
+
+from repro.experiments import fig12_ecc_storage
+from repro.workloads.profiles import MEMORY_INTENSIVE
+
+
+def test_fig12_storage_reduction(benchmark, sim_scale):
+    table = run_experiment(
+        benchmark, fig12_ecc_storage.run, sim_scale, "fig12_ecc_storage"
+    )
+    n = len(MEMORY_INTENSIVE)
+    reductions = table.column("Reduction")[:n]
+    average = sum(reductions) / n
+    # Paper: 80% average reduction vs the 2-bytes-per-block baseline.
+    assert average > 0.5, f"average reduction {average:.2%} too low"
+    assert all(-0.5 <= r <= 1.0 for r in reductions)
+    # Highly compressible benchmarks barely need a region at all.
+    rows = dict(table.rows)
+    assert rows["mcf"][0] > 0.5

@@ -1,0 +1,23 @@
+"""Regenerates the paper's in-text quantitative claims."""
+
+from conftest import run_experiment
+
+from repro.experiments import intext_claims
+
+
+def test_intext_claims(benchmark, fast_scale):
+    table = run_experiment(
+        benchmark, intext_claims.run, fast_scale, "intext_claims"
+    )
+    rows = dict(table.rows)
+    measured_word, analytic_word, paper_word = rows["P(random word valid)"]
+    assert abs(measured_word - analytic_word) < 0.001
+    assert abs(analytic_word - paper_word) < 0.0002  # 0.39%
+    # "0.00002%" chance of a random block aliasing.
+    _, analytic_alias, _ = rows["P(random block aliases)"]
+    assert 1e-7 < analytic_alias < 1e-6
+    # The static hash keeps repeated-code-word blocks from aliasing.
+    assert rows["repeated-codeword block CWs (hash on)"][0] <= 2
+    # COP-ER vs ECC DIMM multi-bit ratio: the paper's "6x".
+    ratio = rows["COP-ER vs ECC-DIMM error ratio"][0]
+    assert 5.0 < ratio < 8.0

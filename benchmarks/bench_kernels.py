@@ -1,0 +1,87 @@
+"""Microbenchmarks of the hot kernels (true pytest-benchmark timing).
+
+These measure the software model's throughput — SECDED syndrome checks,
+the per-scheme compressors, the full COP encode/decode pipeline — which is
+what bounds the experiment harness's runtime.  They have no paper
+counterpart but document the cost profile of the reproduction.
+"""
+
+import random
+
+import pytest
+
+from repro.compression import (
+    FPCCompressor,
+    MSBCompressor,
+    RLECompressor,
+    TextCompressor,
+    cop_combined_compressor,
+    payload_budget,
+)
+from repro.core.codec import COPCodec
+from repro.ecc.codes import code_128_120
+from repro.workloads.profiles import PROFILES
+from repro.experiments.common import sample_blocks
+
+_BUDGET = payload_budget(4)
+
+
+@pytest.fixture(scope="module")
+def blocks():
+    return sample_blocks(PROFILES["gcc"], 256, seed=3)
+
+
+@pytest.fixture(scope="module")
+def random_blocks():
+    rng = random.Random(5)
+    return [rng.randbytes(64) for _ in range(256)]
+
+
+def test_secded_syndrome_throughput(benchmark):
+    code = code_128_120()
+    rng = random.Random(1)
+    words = [code.encode(rng.getrandbits(120)) for _ in range(512)]
+    benchmark(lambda: [code.syndrome(w) for w in words])
+
+
+def test_secded_encode_throughput(benchmark):
+    code = code_128_120()
+    rng = random.Random(2)
+    payloads = [rng.getrandbits(120) for _ in range(512)]
+    benchmark(lambda: [code.encode(p) for p in payloads])
+
+
+@pytest.mark.parametrize(
+    "scheme",
+    [
+        MSBCompressor(5, True),
+        RLECompressor(34),
+        TextCompressor(),
+        FPCCompressor(),
+    ],
+    ids=lambda s: s.name,
+)
+def test_compressor_throughput(benchmark, blocks, scheme):
+    benchmark(lambda: [scheme.compress(b, _BUDGET) for b in blocks])
+
+
+def test_combined_compress_throughput(benchmark, blocks):
+    combined = cop_combined_compressor(4)
+    benchmark(lambda: [combined.compress(b, _BUDGET + 2) for b in blocks])
+
+
+def test_cop_encode_throughput(benchmark, blocks):
+    codec = COPCodec()
+    benchmark(lambda: [codec.encode(b) for b in blocks])
+
+
+def test_cop_decode_throughput(benchmark, blocks):
+    codec = COPCodec()
+    stored = [codec.encode(b).stored for b in blocks]
+    benchmark(lambda: [codec.decode(s) for s in stored])
+
+
+def test_cop_decode_raw_passthrough_throughput(benchmark, random_blocks):
+    """Decoding incompressible blocks exercises only the syndrome path."""
+    codec = COPCodec()
+    benchmark(lambda: [codec.decode(b) for b in random_blocks])

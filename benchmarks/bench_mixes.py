@@ -1,0 +1,20 @@
+"""Regenerates the multiprogrammed-mix extension experiment."""
+
+from conftest import run_experiment
+
+from repro.experiments import mixes
+
+
+def test_multiprogrammed_mixes(benchmark, sim_scale):
+    table = run_experiment(benchmark, mixes.run, sim_scale, "mixes")
+    for mix_name, values in table.rows:
+        unprot, cop, coper, ecc_reg, reduction = values
+        assert unprot == 1.0
+        # COP's weighted speedup stays near 1 for every mix.
+        assert cop > 0.95, mix_name
+        # The ECC-Region baseline is always the slowest scheme.
+        assert ecc_reg <= min(cop, coper) + 1e-9, mix_name
+        assert 0.0 <= reduction <= 1.0
+    rows = dict(table.rows)
+    # The low-compressibility mix shows the weakest SER reduction.
+    assert rows["low-compress"][4] == min(v[4] for v in rows.values())

@@ -1,0 +1,20 @@
+"""Regenerates the paper's power-cost motivation (Sections 1-2)."""
+
+from conftest import run_experiment
+
+from repro.experiments import power_motivation
+
+
+def test_power_motivation(benchmark, sim_scale):
+    table = run_experiment(
+        benchmark, power_motivation.run, sim_scale, "power_motivation"
+    )
+    rows = dict(table.rows)
+    # The ninth chip costs ~12.5% in devices and a comparable share of
+    # power ("substantially increasing power consumption").
+    assert rows["ECC DIMM"][2] == 1.125
+    assert rows["ECC DIMM"][0] > 1.08
+    # COP adds no DRAM devices and essentially no power.
+    assert abs(rows["COP"][0] - 1.0) < 0.03
+    # The ECC-Region baseline pays in energy (extra accesses), not chips.
+    assert rows["ECC Reg."][1] > rows["COP"][1] - 1e-9

@@ -1,0 +1,21 @@
+"""Regenerates Table 3: code words in incompressible data blocks."""
+
+from conftest import run_experiment
+
+from repro.core.alias import codeword_count_probability
+from repro.experiments import table3_aliases
+
+
+def test_table3_codeword_census(benchmark, fast_scale):
+    table = run_experiment(
+        benchmark, table3_aliases.run, fast_scale, "table3_aliases"
+    )
+    rows = dict(table.rows)
+    measured_1cw = rows["1 code words"][0]
+    # ~1.5% of incompressible blocks show one valid code word (paper: 1.4%).
+    assert 0.001 < measured_1cw < 0.05
+    # Aliases (>=3 code words) are essentially absent, as in the paper.
+    assert rows["3 code words"][0] < 1e-4
+    assert rows["4 code words"][0] < 1e-5
+    # The analytic column is the binomial model the paper derives.
+    assert abs(rows["0 code words"][2] - codeword_count_probability(0)) < 1e-12

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Scenario: adaptive code strength for a mixed database workload.
+
+Section 3.1 notes it is "theoretically possible to use stronger codes
+for more compressible data blocks"; the paper keeps one ratio for
+simplicity.  This example runs our implementation of the idea: blocks
+that compress to 56 bytes get the standard 4x(128,120) protection,
+blocks that reach 48 bytes get the 8x(64,56) *strong* tier — still zero
+metadata, still 64 stored bytes — and multi-bit upsets that would
+silently corrupt standard COP blocks are corrected.
+
+Run: ``python examples/adaptive_strength.py``
+"""
+
+import random
+
+from repro.core.adaptive import AdaptiveCodec
+from repro.core.codec import COPCodec
+from repro.experiments.common import sample_blocks
+
+BLOCKS = 800
+
+
+def main() -> None:
+    rng = random.Random(7)
+    adaptive = AdaptiveCodec()
+    plain = COPCodec()
+    blocks = sample_blocks("gcc", BLOCKS, seed=12)
+
+    tiers = {"strong": 0, "standard": 0, "raw": 0}
+    for block in blocks:
+        tiers[adaptive.strength_of(block)] += 1
+    print(f"workload: gcc, {BLOCKS} blocks")
+    for tier, count in tiers.items():
+        print(f"  {tier:9s} {count / BLOCKS:6.1%}")
+
+    # Double-error campaign against the blocks both codecs protect.
+    survived_adaptive = survived_plain = trials = 0
+    for block in blocks:
+        encoded, strength = adaptive.encode(block)
+        plain_encoded = plain.encode(block)
+        if strength != "strong" or not plain_encoded.compressed:
+            continue
+        trials += 1
+        words = rng.sample(range(8), 2)
+        struck = bytearray(encoded.stored)
+        plain_struck = bytearray(plain_encoded.stored)
+        for word in words:
+            bit = word * 64 + rng.randrange(64)
+            struck[bit // 8] ^= 1 << (bit % 8)
+            plain_struck[bit // 8] ^= 1 << (bit % 8)
+        if adaptive.decode(bytes(struck)).result.data == block:
+            survived_adaptive += 1
+        if plain.decode(bytes(plain_struck)).data == block:
+            survived_plain += 1
+
+    print(f"\nspread double-bit errors over {trials} strong-tier blocks:")
+    print(f"  adaptive COP survives {survived_adaptive}/{trials}")
+    print(f"  standard COP survives {survived_plain}/{trials} "
+          "(two invalid words demote the block to 'raw' silently)")
+    print("\nsame 64 stored bytes, same zero metadata — the compressible "
+          "majority simply gets the stronger geometry")
+
+
+if __name__ == "__main__":
+    main()

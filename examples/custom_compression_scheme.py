@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Scenario: plugging a custom compression scheme into COP.
+
+The combined compressor reserves a 2-bit tag, so a deployment can swap in
+domain-specific schemes.  Here we add a "delta-u32" scheme for telemetry
+buffers (monotonic 32-bit timestamps/counters: large values, small
+strides) that none of the paper's schemes catch, and show COP protecting
+blocks that were previously stored raw.
+
+Run: ``python examples/custom_compression_scheme.py``
+"""
+
+import random
+import struct
+from typing import Optional
+
+from repro._bits import Bits, BitReader, BitWriter
+from repro.compression import CombinedCompressor, CompressionScheme
+from repro.compression.base import BLOCK_BYTES
+from repro.compression.combined import cop_scheme_suite
+from repro.core.codec import COPCodec
+
+
+class DeltaU32Compressor(CompressionScheme):
+    """First u32 verbatim, then fifteen 28-bit deltas (frees 60 bits)."""
+
+    name = "DELTA32"
+    _DELTA_BITS = 28
+
+    def compress(self, block: bytes, budget_bits: int) -> Optional[Bits]:
+        if 32 + 15 * self._DELTA_BITS > budget_bits:
+            return None
+        values = struct.unpack("<16I", block)
+        writer = BitWriter()
+        writer.write(values[0], 32)
+        for prev, curr in zip(values, values[1:]):
+            delta = (curr - prev) & 0xFFFFFFFF
+            if delta >> self._DELTA_BITS:
+                return None
+            writer.write(delta, self._DELTA_BITS)
+        return writer.getbits()
+
+    def decompress(self, payload: Bits) -> bytes:
+        reader = BitReader(payload)
+        values = [reader.read(32)]
+        for _ in range(15):
+            delta = reader.read(self._DELTA_BITS)
+            values.append((values[-1] + delta) & 0xFFFFFFFF)
+        return struct.pack("<16I", *values)
+
+
+def telemetry_block(rng: random.Random) -> bytes:
+    """Monotonic timestamps with jitter: high entropy in the high bits."""
+    t = rng.getrandbits(32)
+    values = []
+    for _ in range(BLOCK_BYTES // 4):
+        values.append(t)
+        t = (t + rng.randrange(1, 1 << 20)) & 0xFFFFFFFF
+    return struct.pack("<16I", *values)
+
+
+def main() -> None:
+    rng = random.Random(99)
+    blocks = [telemetry_block(rng) for _ in range(500)]
+
+    stock = COPCodec()
+    stock_protected = sum(1 for b in blocks if stock.encode(b).compressed)
+
+    # Build a hybrid with the custom scheme in the 4th tag slot.
+    schemes = list(cop_scheme_suite(4).values()) + [DeltaU32Compressor()]
+    custom = COPCodec(compressor=CombinedCompressor(schemes))
+    custom_protected = 0
+    for block in blocks:
+        encoded = custom.encode(block)
+        if encoded.compressed:
+            custom_protected += 1
+            decoded = custom.decode(encoded.stored)
+            assert decoded.data == block  # exact round trip through DRAM
+
+    print(f"telemetry blocks protected by the stock hybrid:  "
+          f"{stock_protected}/{len(blocks)}")
+    print(f"telemetry blocks protected with DELTA32 plugged in: "
+          f"{custom_protected}/{len(blocks)}")
+    print("the 2-bit scheme tag makes COP's hybrid extensible — the "
+          "decoder dispatches on the tag, DRAM stores nothing extra")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Scenario: Monte-Carlo soft-error campaign across protection schemes.
+
+Fills a memory with a scientific workload's data (lbm-like floating
+point), then bombards it with random bit flips and classifies every
+readback: corrected, detected (machine check), or silent corruption.
+Cross-validates the paper's analytical claims mechanically — COP survives
+essentially all single-bit upsets in compressed blocks, and double errors
+split between detected (same code word) and silent (different words)
+roughly 1:3 as predicted.
+
+Run: ``python examples/fault_injection_study.py``
+"""
+
+from repro.core.controller import ProtectedMemory, ProtectionMode
+from repro.reliability import FaultInjector, double_error_outcome_probs
+from repro.workloads.blocks import BlockSource
+from repro.workloads.profiles import PROFILES
+
+BLOCKS = 1500
+TRIALS = 3000
+
+
+def build_memory(mode: ProtectionMode):
+    source = BlockSource(PROFILES["lbm"], seed=7)
+    memory = ProtectedMemory(mode)
+    golden = {}
+    addr = 0
+    while len(golden) < BLOCKS:
+        data = source.block(addr)
+        if memory.write(addr, data).accepted:
+            golden[addr] = data
+        addr += 4096  # one block per page: sample many content archetypes
+    return memory, golden
+
+
+def main() -> None:
+    print(f"{'scheme':12s} {'corrected':>10s} {'masked':>8s} "
+          f"{'detected':>9s} {'silent':>8s}")
+    for mode in (
+        ProtectionMode.UNPROTECTED,
+        ProtectionMode.COP,
+        ProtectionMode.COP_ER,
+        ProtectionMode.ECC_REGION,
+        ProtectionMode.ECC_DIMM,
+    ):
+        memory, golden = build_memory(mode)
+        injector = FaultInjector(memory, golden, seed=42)
+        stats = injector.run_campaign(TRIALS, flips=1)
+        print(
+            f"{mode.value:12s} {stats.corrected:>10d} {stats.masked:>8d} "
+            f"{stats.detected:>9d} {stats.silent:>8d}"
+            f"   (survival {stats.survival_rate:.1%})"
+        )
+
+    # Double errors against plain COP: the Section 3.1 corner case.
+    memory, golden = build_memory(ProtectionMode.COP)
+    injector = FaultInjector(memory, golden, seed=43)
+    stats = injector.run_campaign(TRIALS, flips=2)
+    probs = double_error_outcome_probs()
+    print(
+        f"\nCOP, 2 flips per block: detected {stats.detected}, silent "
+        f"{stats.silent} (model predicts ~{probs['detected']:.0%} of "
+        f"compressed-block double errors detected, ~{probs['silent']:.0%} "
+        f"silent)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: protect a 64-byte block with COP and survive a bit flip.
+
+Walks the paper's Fig. 2 pipeline end to end:
+
+1. encode a compressible block (compress -> SECDED -> static hash),
+2. read it back cleanly,
+3. flip a stored bit (a soft error) and watch the decoder correct it,
+4. store an incompressible block raw and see the decoder pass it through,
+5. check the alias test that guards raw blocks.
+
+Run: ``python examples/quickstart.py``
+"""
+
+import random
+
+from repro import BlockKind, COPCodec
+
+
+def main() -> None:
+    codec = COPCodec()  # the paper's preferred 4-byte variant
+    rng = random.Random(2015)
+
+    # -- 1. a compressible block: an array of small counters ------------
+    import struct
+
+    block = b"".join(struct.pack("<i", n) for n in range(16))
+    encoded = codec.encode(block)
+    print(f"block of 16 small int32s -> compressed: {encoded.compressed}")
+    assert encoded.compressed
+
+    # -- 2. clean read ----------------------------------------------------
+    decoded = codec.decode(encoded.stored)
+    assert decoded.kind is BlockKind.COMPRESSED and decoded.data == block
+    print(f"clean read: {decoded.valid_codewords}/4 valid code words")
+
+    # -- 3. soft error: flip one stored bit ------------------------------
+    struck = bytearray(encoded.stored)
+    bit = rng.randrange(512)
+    struck[bit // 8] ^= 1 << (bit % 8)
+    decoded = codec.decode(bytes(struck))
+    assert decoded.data == block, "single-bit error must be corrected"
+    print(
+        f"after flipping stored bit {bit}: "
+        f"{decoded.valid_codewords}/4 valid words, "
+        f"{decoded.corrected_words} corrected -> data intact"
+    )
+
+    # -- 4. an incompressible block is stored raw -------------------------
+    noise = rng.randbytes(64)
+    encoded = codec.encode(noise)
+    print(f"high-entropy block -> compressed: {encoded.compressed}")
+    decoded = codec.decode(encoded.stored)
+    assert decoded.kind is BlockKind.RAW and decoded.data == noise
+    print("decoder passed the raw block through unmodified")
+
+    # -- 5. the alias guard ----------------------------------------------
+    print(f"is the raw block an alias? {codec.is_alias(noise)}")
+    print("done: COP protected the compressible block with zero overhead")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The evaluation environment is offline and lacks the ``wheel`` package, so
+PEP 517 editable installs fail.  This shim lets ``pip install -e .`` fall
+back to ``setup.py develop`` (``pip install -e . --no-use-pep517``); all
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""repro — a full reproduction of *COP: To Compress and Protect Main Memory*
+(Palframan, Kim, Lipasti; ISCA 2015).
+
+COP protects non-ECC DIMMs from soft errors by compressing each 64-byte
+block just enough to fit SECDED check bits inline, and detects compressed
+blocks on read by counting valid code words — no compression-tracking
+metadata in DRAM, no capacity loss, no extra accesses.
+
+Quickstart::
+
+    from repro import COPCodec
+
+    codec = COPCodec()                     # the paper's 4-byte variant
+    encoded = codec.encode(my_64_bytes)    # compress + ECC + static hash
+    decoded = codec.decode(encoded.stored) # detect, correct, decompress
+    assert decoded.data == my_64_bytes
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — COP codec, alias analysis, COP-ER, controller modes
+* :mod:`repro.compression` — MSB / RLE / TXT / FPC / BDI / combined
+* :mod:`repro.ecc` — Hsiao SECDED, Hamming SEC, static hash
+* :mod:`repro.cache`, :mod:`repro.memory` — LLC and DDR3 substrates
+* :mod:`repro.workloads` — benchmark content profiles and trace synthesis
+* :mod:`repro.simulation` — interval performance model
+* :mod:`repro.reliability` — PARMA vulnerability model + fault injection
+* :mod:`repro.experiments` — one harness per figure/table of the paper
+"""
+
+from repro.core.alias import AliasCensus, alias_probability
+from repro.core.codec import BlockKind, COPCodec, DecodedBlock, EncodedBlock
+from repro.core.config import COPConfig
+from repro.core.controller import ProtectedMemory, ProtectionMode
+from repro.core.coper import CoperBlockFormat, ECCRegion
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "COPConfig",
+    "COPCodec",
+    "BlockKind",
+    "EncodedBlock",
+    "DecodedBlock",
+    "AliasCensus",
+    "alias_probability",
+    "ECCRegion",
+    "CoperBlockFormat",
+    "ProtectedMemory",
+    "ProtectionMode",
+    "__version__",
+]

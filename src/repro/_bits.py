@@ -1,0 +1,169 @@
+"""Bit-level substrate shared by the ECC and compression layers.
+
+Conventions used throughout the library:
+
+* A 64-byte memory block is a ``bytes`` object of length 64.
+* Bit-level views of blocks and code words are Python ``int`` values in
+  *little-endian bit order*: bit ``i`` of the integer is bit ``i % 8`` of
+  byte ``i // 8``.  This makes ``int.from_bytes(data, "little")`` the
+  canonical conversion and keeps bit indices stable across byte slicing.
+* Variable-width bitstreams (compressed payloads) are produced with
+  :class:`BitWriter` and consumed with :class:`BitReader`.  The first value
+  written is the lowest-order field of the resulting integer, so a reader
+  that consumes fields in the same order recovers them exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple
+
+__all__ = [
+    "Bits",
+    "BitReader",
+    "BitWriter",
+    "bytes_to_int",
+    "int_to_bytes",
+    "bit_slice",
+    "popcount",
+    "parity",
+    "iter_set_bits",
+]
+
+
+class Bits(NamedTuple):
+    """An integer value carrying an explicit bit width.
+
+    ``value`` must be non-negative and fit in ``nbits`` bits.  ``Bits`` is
+    the interchange type between compression schemes (which produce
+    variable-width payloads) and the COP codec (which pads them into fixed
+    SECDED data segments).
+    """
+
+    value: int
+    nbits: int
+
+    def to_bytes(self) -> bytes:
+        """Pack into the minimum number of little-endian bytes."""
+        return self.value.to_bytes((self.nbits + 7) // 8, "little")
+
+    def validate(self) -> "Bits":
+        """Return self, raising ``ValueError`` if value does not fit."""
+        if self.nbits < 0:
+            raise ValueError(f"negative bit width {self.nbits}")
+        if self.value < 0 or self.value >> self.nbits:
+            raise ValueError(f"value does not fit in {self.nbits} bits")
+        return self
+
+
+def bytes_to_int(data: bytes) -> int:
+    """Little-endian bytes -> int (bit i of result = bit i%8 of byte i//8)."""
+    return int.from_bytes(data, "little")
+
+
+def int_to_bytes(value: int, length: int) -> bytes:
+    """Int -> little-endian bytes of exactly ``length`` bytes."""
+    return value.to_bytes(length, "little")
+
+
+def bit_slice(value: int, start: int, nbits: int) -> int:
+    """Extract ``nbits`` bits of ``value`` starting at bit ``start``."""
+    return (value >> start) & ((1 << nbits) - 1)
+
+
+def popcount(value: int) -> int:
+    """Number of set bits (delegates to ``int.bit_count``)."""
+    return value.bit_count()
+
+
+def parity(value: int) -> int:
+    """Overall parity (popcount mod 2) of ``value``."""
+    return value.bit_count() & 1
+
+
+def iter_set_bits(value: int) -> Iterable[int]:
+    """Yield indices of set bits of ``value`` in ascending order."""
+    while value:
+        low = value & -value
+        yield low.bit_length() - 1
+        value ^= low
+
+
+class BitWriter:
+    """Accumulates variable-width fields into a single little-endian int.
+
+    Fields are appended lowest-order first, mirroring how a hardware
+    compressor would shift bits onto a wire.  Example::
+
+        w = BitWriter()
+        w.write(0b10, 2)       # 2-bit scheme tag
+        w.write(0x3FF, 10)
+        bits = w.getbits()     # Bits(value=0b1111111111_10, nbits=12)
+    """
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._nbits = 0
+
+    def write(self, value: int, nbits: int) -> None:
+        """Append ``nbits`` bits.  ``value`` must fit in ``nbits``."""
+        if nbits < 0:
+            raise ValueError(f"negative field width {nbits}")
+        if value < 0 or (nbits < value.bit_length()):
+            raise ValueError(f"value {value:#x} does not fit in {nbits} bits")
+        self._value |= value << self._nbits
+        self._nbits += nbits
+
+    def write_bytes(self, data: bytes) -> None:
+        """Append whole bytes (8 bits each, little-endian order)."""
+        self.write(bytes_to_int(data), 8 * len(data))
+
+    @property
+    def nbits(self) -> int:
+        """Total number of bits written so far."""
+        return self._nbits
+
+    def getbits(self) -> Bits:
+        """Snapshot the accumulated stream as :class:`Bits`."""
+        return Bits(self._value, self._nbits)
+
+
+class BitReader:
+    """Consumes variable-width fields from a :class:`Bits` payload.
+
+    The reader enforces its bounds: reading past the end raises
+    ``ValueError``, which compression decoders rely on to reject corrupt
+    payloads instead of fabricating data.
+    """
+
+    def __init__(self, bits: Bits) -> None:
+        bits.validate()
+        self._value = bits.value
+        self._nbits = bits.nbits
+        self._pos = 0
+
+    def read(self, nbits: int) -> int:
+        """Consume and return the next ``nbits`` bits."""
+        if nbits < 0:
+            raise ValueError(f"negative field width {nbits}")
+        if self._pos + nbits > self._nbits:
+            raise ValueError(
+                f"bitstream underrun: need {nbits} bits at offset "
+                f"{self._pos}, only {self._nbits - self._pos} remain"
+            )
+        out = (self._value >> self._pos) & ((1 << nbits) - 1)
+        self._pos += nbits
+        return out
+
+    def read_bytes(self, nbytes: int) -> bytes:
+        """Consume ``nbytes`` whole bytes."""
+        return int_to_bytes(self.read(8 * nbytes), nbytes)
+
+    @property
+    def remaining(self) -> int:
+        """Bits left to read."""
+        return self._nbits - self._pos
+
+    @property
+    def position(self) -> int:
+        """Bits consumed so far."""
+        return self._pos

@@ -1,0 +1,213 @@
+"""Set-associative write-back cache with COP's per-line metadata.
+
+Addresses are byte addresses; lines are 64 bytes.  The cache stores block
+*data* (bytes) so the functional simulation can track contents end-to-end,
+plus the COP flag bits.  Replacement is LRU with alias pinning: lines whose
+``alias`` flag is set are not eligible victims (they cannot be written back
+to DRAM without confusing the decoder), and if every way of a set is pinned
+the insertion spills to an :class:`OverflowRegion` — the linked-list
+overflow area of Section 3.1, which exists for correctness, not speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["CacheLine", "CacheStats", "Eviction", "OverflowRegion", "SetAssocCache"]
+
+
+@dataclass
+class CacheLine:
+    """One resident line.  ``addr`` is the block-aligned byte address."""
+
+    addr: int
+    data: bytes
+    dirty: bool = False
+    alias: bool = False
+    was_uncompressed: bool = False
+    last_use: int = 0
+
+
+@dataclass(frozen=True)
+class Eviction:
+    """A victim pushed out by an insertion (writeback candidate if dirty)."""
+
+    line: CacheLine
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    overflow_spills: int = 0
+    overflow_hits: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class OverflowRegion:
+    """Spill area for sets whose every way is a pinned alias.
+
+    The paper arranges overflow blocks as a linked list in a reserved
+    sliver of DRAM, found via a per-set overflow flag and a repurposed tag.
+    Functionally that is an address-indexed side store with higher access
+    latency; the performance model charges ``extra_hops`` DRAM-class
+    accesses per lookup that reaches it.
+    """
+
+    def __init__(self, extra_hops: int = 2) -> None:
+        self.blocks: dict[int, CacheLine] = {}
+        self.extra_hops = extra_hops
+
+    def insert(self, line: CacheLine) -> None:
+        self.blocks[line.addr] = line
+
+    def lookup(self, addr: int) -> Optional[CacheLine]:
+        return self.blocks.get(addr)
+
+    def remove(self, addr: int) -> Optional[CacheLine]:
+        return self.blocks.pop(addr, None)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+
+class SetAssocCache:
+    """LRU set-associative cache keyed by block-aligned byte addresses."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        ways: int,
+        line_bytes: int = 64,
+        name: str = "cache",
+    ) -> None:
+        if capacity_bytes % (ways * line_bytes):
+            raise ValueError("capacity must be a whole number of sets")
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = capacity_bytes // (ways * line_bytes)
+        if self.num_sets < 1:
+            raise ValueError("cache must have at least one set")
+        self.name = name
+        self._sets: list[list[CacheLine]] = [[] for _ in range(self.num_sets)]
+        self.overflow = OverflowRegion()
+        self.stats = CacheStats()
+        self._tick = 0
+
+    # -- indexing ------------------------------------------------------------
+
+    def _set_index(self, addr: int) -> int:
+        return (addr // self.line_bytes) % self.num_sets
+
+    def _align(self, addr: int) -> int:
+        return addr - (addr % self.line_bytes)
+
+    def _now(self) -> int:
+        self._tick += 1
+        return self._tick
+
+    # -- operations ----------------------------------------------------------
+
+    def lookup(self, addr: int) -> Optional[CacheLine]:
+        """Return the line holding ``addr`` (updating LRU), or None."""
+        addr = self._align(addr)
+        for line in self._sets[self._set_index(addr)]:
+            if line.addr == addr:
+                line.last_use = self._now()
+                self.stats.hits += 1
+                return line
+        spilled = self.overflow.lookup(addr)
+        if spilled is not None:
+            # An overflowed line still counts as cached (it must: aliases
+            # cannot live in DRAM), but the performance model charges the
+            # pointer-chasing cost via ``overflow.extra_hops``.
+            self.stats.hits += 1
+            self.stats.overflow_hits += 1
+            return spilled
+        self.stats.misses += 1
+        return None
+
+    def peek(self, addr: int) -> Optional[CacheLine]:
+        """Lookup without touching LRU state or stats."""
+        addr = self._align(addr)
+        for line in self._sets[self._set_index(addr)]:
+            if line.addr == addr:
+                return line
+        return self.overflow.lookup(addr)
+
+    def insert(
+        self,
+        addr: int,
+        data: bytes,
+        dirty: bool = False,
+        alias: bool = False,
+        was_uncompressed: bool = False,
+    ) -> Optional[Eviction]:
+        """Install a line, returning the victim (if any).
+
+        If the line is already resident its contents/flags are updated in
+        place and no eviction occurs.
+        """
+        addr = self._align(addr)
+        if len(data) != self.line_bytes:
+            raise ValueError(f"line data must be {self.line_bytes} bytes")
+        existing = self.peek(addr)
+        if existing is not None:
+            existing.data = data
+            existing.dirty = existing.dirty or dirty
+            existing.alias = alias
+            existing.was_uncompressed = was_uncompressed
+            existing.last_use = self._now()
+            return None
+
+        new_line = CacheLine(
+            addr, data, dirty, alias, was_uncompressed, self._now()
+        )
+        cache_set = self._sets[self._set_index(addr)]
+        if len(cache_set) < self.ways:
+            cache_set.append(new_line)
+            return None
+
+        victims = [line for line in cache_set if not line.alias]
+        if not victims:
+            # Every way pinned by incompressible aliases: spill the new line
+            # (clean insertion order keeps resident aliases untouched).
+            self.stats.overflow_spills += 1
+            self.overflow.insert(new_line)
+            return None
+        victim = min(victims, key=lambda line: line.last_use)
+        cache_set.remove(victim)
+        cache_set.append(new_line)
+        self.stats.evictions += 1
+        if victim.dirty:
+            self.stats.writebacks += 1
+        return Eviction(victim)
+
+    def invalidate(self, addr: int) -> Optional[CacheLine]:
+        """Drop a line without writeback; returns it if it was resident."""
+        addr = self._align(addr)
+        cache_set = self._sets[self._set_index(addr)]
+        for line in cache_set:
+            if line.addr == addr:
+                cache_set.remove(line)
+                return line
+        return self.overflow.remove(addr)
+
+    def resident_lines(self) -> list[CacheLine]:
+        """All lines currently held (including overflow), unordered."""
+        lines = [line for cache_set in self._sets for line in cache_set]
+        lines.extend(self.overflow.blocks.values())
+        return lines
+
+    def __contains__(self, addr: int) -> bool:
+        return self.peek(addr) is not None

@@ -1,0 +1,58 @@
+"""Block-compression substrate (Section 3.2 of the paper).
+
+COP does not chase high compression ratios: it only needs to free 4 (or 8)
+bytes plus a 2-bit scheme selector from every 64-byte block.  This package
+implements the paper's schemes bit-exactly:
+
+* :class:`~repro.compression.msb.MSBCompressor` — matching most-significant
+  bits across 8-byte words (BDI-inspired), with the shifted comparison that
+  skips the floating-point sign bit (Fig. 4).
+* :class:`~repro.compression.rle.RLECompressor` — run-length encoding of
+  2/3-byte runs of 0x00/0xFF with 7-bit run metadata (Fig. 5).
+* :class:`~repro.compression.txt.TextCompressor` — ASCII blocks drop the
+  zero MSB of every byte.
+* :class:`~repro.compression.fpc.FPCCompressor` — frequent pattern
+  compression, the paper's comparison algorithm (Fig. 1, Figs. 8-9).
+* :class:`~repro.compression.bdi.BDICompressor` — full base-delta-immediate
+  for background comparisons and ablations.
+* :class:`~repro.compression.combined.CombinedCompressor` — the COP hybrid
+  with a 2-bit scheme tag (TXT+MSB+RLE at the 4-byte target, MSB+RLE at the
+  8-byte target).
+
+All compressors share the :class:`~repro.compression.base.CompressionScheme`
+interface and are exact: ``decompress(compress(block)) == block``.
+"""
+
+from repro.compression.base import (
+    BLOCK_BITS,
+    BLOCK_BYTES,
+    SCHEME_TAG_BITS,
+    CompressionScheme,
+    payload_budget,
+)
+from repro.compression.bdi import BDICompressor
+from repro.compression.combined import (
+    CombinedCompressor,
+    cop_combined_compressor,
+    cop_scheme_suite,
+)
+from repro.compression.fpc import FPCCompressor
+from repro.compression.msb import MSBCompressor
+from repro.compression.rle import RLECompressor
+from repro.compression.txt import TextCompressor
+
+__all__ = [
+    "BLOCK_BYTES",
+    "BLOCK_BITS",
+    "SCHEME_TAG_BITS",
+    "payload_budget",
+    "CompressionScheme",
+    "MSBCompressor",
+    "RLECompressor",
+    "TextCompressor",
+    "FPCCompressor",
+    "BDICompressor",
+    "CombinedCompressor",
+    "cop_combined_compressor",
+    "cop_scheme_suite",
+]

@@ -1,0 +1,83 @@
+"""Common interface for COP's block compression schemes.
+
+Budget accounting follows Section 3.2 exactly: to free ``E`` bytes of ECC
+from a 512-bit block while reserving the 2-bit scheme selector used by the
+combined approach, a scheme's payload must fit in
+``512 - 8*E - 2`` bits (:func:`payload_budget`).  For the paper's preferred
+4-byte target that is 478 bits ("freeing 34 bits overall"); for the 8-byte
+target it is 446 bits.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro._bits import Bits
+
+__all__ = [
+    "BLOCK_BYTES",
+    "BLOCK_BITS",
+    "SCHEME_TAG_BITS",
+    "payload_budget",
+    "CompressionScheme",
+    "check_block",
+]
+
+#: Memory blocks are cache-line sized throughout the paper.
+BLOCK_BYTES = 64
+BLOCK_BITS = 8 * BLOCK_BYTES
+
+#: The combined approach spends two bits of every compressed block to name
+#: the scheme that produced it ("we increase the target compression ratio by
+#: 2 bits ... to allow COP to combine compression schemes").
+SCHEME_TAG_BITS = 2
+
+
+def payload_budget(ecc_bytes: int) -> int:
+    """Maximum scheme payload bits when freeing ``ecc_bytes`` per block."""
+    if ecc_bytes <= 0 or 8 * ecc_bytes + SCHEME_TAG_BITS >= BLOCK_BITS:
+        raise ValueError(f"unusable ECC budget {ecc_bytes} bytes")
+    return BLOCK_BITS - 8 * ecc_bytes - SCHEME_TAG_BITS
+
+
+def check_block(block: bytes) -> bytes:
+    """Validate a 64-byte block argument."""
+    if len(block) != BLOCK_BYTES:
+        raise ValueError(f"expected {BLOCK_BYTES}-byte block, got {len(block)}")
+    return block
+
+
+class CompressionScheme(abc.ABC):
+    """A single exact compression scheme.
+
+    Implementations are *parameterised at construction* for one target
+    (e.g. the MSB compare width, or RLE's freed-bit threshold) so that the
+    decompressor needs no side information beyond the payload itself — the
+    property that lets COP store nothing but data + ECC in DRAM.
+    """
+
+    #: Short scheme name used in reports ("MSB", "RLE", "TXT", "FPC", ...).
+    name: str = "?"
+
+    @abc.abstractmethod
+    def compress(self, block: bytes, budget_bits: int) -> Optional[Bits]:
+        """Compress ``block`` into at most ``budget_bits`` payload bits.
+
+        Returns ``None`` when the block cannot be represented within the
+        budget (the block is *incompressible* under this scheme).
+        """
+
+    @abc.abstractmethod
+    def decompress(self, payload: Bits) -> bytes:
+        """Exactly invert :meth:`compress`.  Returns the 64-byte block.
+
+        Raises ``ValueError`` for malformed payloads.
+        """
+
+    def compressible(self, block: bytes, budget_bits: int) -> bool:
+        """Convenience predicate used by the compressibility experiments."""
+        return self.compress(block, budget_bits) is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,97 @@
+"""The COP combined (hybrid) compression approach.
+
+Every compressed block spends :data:`~repro.compression.base.SCHEME_TAG_BITS`
+(two) bits naming the scheme that produced it, so the decompressor can
+dispatch without side information.  The paper's evaluated hybrids are:
+
+* 4-byte ECC target — TXT + MSB + RLE ("the combined approach is highly
+  effective and able to compress 94% of blocks on average", Fig. 9);
+* 8-byte ECC target — MSB + RLE (TXT cannot free 66 bits; FPC is excluded
+  because RLE "generally outperforms FPC and has a simpler hardware
+  implementation").
+
+Scheme order is first-fit.  For the binary fits/does-not-fit decision COP
+makes, first-fit equals best-of; we order TXT, MSB, RLE so the cheapest
+decoder wins ties.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro._bits import Bits, BitReader, BitWriter
+from repro.compression.base import (
+    SCHEME_TAG_BITS,
+    CompressionScheme,
+    check_block,
+    payload_budget,
+)
+from repro.compression.msb import MSBCompressor
+from repro.compression.rle import RLECompressor
+from repro.compression.txt import TextCompressor
+
+__all__ = ["CombinedCompressor", "cop_scheme_suite", "cop_combined_compressor"]
+
+
+class CombinedCompressor(CompressionScheme):
+    """Dispatches between up to ``2**SCHEME_TAG_BITS`` schemes via a tag."""
+
+    name = "COMBINED"
+
+    def __init__(self, schemes: Sequence[CompressionScheme]) -> None:
+        if not 1 <= len(schemes) <= (1 << SCHEME_TAG_BITS):
+            raise ValueError(
+                f"combined compressor supports 1..{1 << SCHEME_TAG_BITS} "
+                f"schemes, got {len(schemes)}"
+            )
+        self.schemes = tuple(schemes)
+        self.name = "+".join(s.name for s in self.schemes)
+
+    def compress(self, block: bytes, budget_bits: int) -> Optional[Bits]:
+        """First-fit over member schemes; payload includes the 2-bit tag."""
+        check_block(block)
+        inner_budget = budget_bits - SCHEME_TAG_BITS
+        for tag, scheme in enumerate(self.schemes):
+            inner = scheme.compress(block, inner_budget)
+            if inner is None:
+                continue
+            writer = BitWriter()
+            writer.write(tag, SCHEME_TAG_BITS)
+            writer.write(inner.value, inner.nbits)
+            return writer.getbits()
+        return None
+
+    def decompress(self, payload: Bits) -> bytes:
+        reader = BitReader(payload)
+        tag = reader.read(SCHEME_TAG_BITS)
+        if tag >= len(self.schemes):
+            raise ValueError(f"scheme tag {tag} names no configured scheme")
+        inner = Bits(
+            payload.value >> SCHEME_TAG_BITS, payload.nbits - SCHEME_TAG_BITS
+        )
+        return self.schemes[tag].decompress(inner)
+
+
+def cop_scheme_suite(ecc_bytes: int) -> dict[str, CompressionScheme]:
+    """The individual schemes evaluated at a given ECC budget.
+
+    Returns an ordered mapping name -> scheme configured for the budget
+    (MSB compare width, RLE threshold).  TXT appears only when it can free
+    the budget, reproducing its absence from Fig. 8.
+    """
+    budget = payload_budget(ecc_bytes)
+    min_free = 8 * ecc_bytes + SCHEME_TAG_BITS
+    # MSB compare width: 7 reduced words must free ecc bits + tag.
+    compare_bits = -(-min_free // 7)  # ceil
+    suite: dict[str, CompressionScheme] = {}
+    txt = TextCompressor()
+    if txt.compressed_bits <= budget:
+        suite["TXT"] = txt
+    suite["MSB"] = MSBCompressor(compare_bits=compare_bits, shifted=True)
+    suite["RLE"] = RLECompressor(min_free_bits=min_free)
+    return suite
+
+
+def cop_combined_compressor(ecc_bytes: int) -> CombinedCompressor:
+    """The paper's hybrid for a 4- or 8-byte ECC budget."""
+    return CombinedCompressor(list(cop_scheme_suite(ecc_bytes).values()))

@@ -1,0 +1,114 @@
+"""MSB compression (Section 3.2.1).
+
+A simplification of base-delta-immediate: instead of computing deltas, COP
+checks whether a group of most-significant bits matches across all eight
+8-byte words of the block.  If it does, those bits are stored once (inside
+the first word, which is kept verbatim) and dropped from the other seven.
+
+Two refinements from the paper:
+
+* **Compare width** — 5 bits at the 4-byte target frees ``7 * 5 = 35`` bits
+  (32 ECC + 2 tag + 1 spare); 10 bits at the 8-byte target frees 70.
+* **Shifted comparison** — floating-point data defeats a naive MSB match
+  because the IEEE-754 sign bit sits above the exponent; mixed-sign values
+  with similar magnitudes share exponent bits but not bit 63.  Shifting the
+  compared field down by one bit (ignoring the sign) recovers those blocks
+  (Fig. 4).  Each word keeps its own sign bit verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro._bits import Bits, BitReader, BitWriter, bytes_to_int, int_to_bytes
+from repro.compression.base import BLOCK_BYTES, CompressionScheme, check_block
+
+__all__ = ["MSBCompressor"]
+
+_WORD_BYTES = 8
+_WORD_BITS = 64
+_NUM_WORDS = BLOCK_BYTES // _WORD_BYTES
+
+
+class MSBCompressor(CompressionScheme):
+    """Matching-MSB compression over eight 8-byte words.
+
+    Parameters
+    ----------
+    compare_bits:
+        Width of the matched MSB field.  The paper uses 5 for the 4-byte
+        ECC target and scales it up (we use 10) for the 8-byte target.
+    shifted:
+        When True the compared field skips the top (sign) bit — the
+        floating-point optimisation of Fig. 4.
+    """
+
+    name = "MSB"
+
+    def __init__(self, compare_bits: int = 5, shifted: bool = True) -> None:
+        if not 1 <= compare_bits <= _WORD_BITS - 1:
+            raise ValueError(f"compare_bits out of range: {compare_bits}")
+        if shifted and compare_bits > _WORD_BITS - 1:
+            raise ValueError("shifted comparison cannot cover the full word")
+        self.compare_bits = compare_bits
+        self.shifted = shifted
+        #: Lowest bit index of the compared field within each 64-bit word.
+        self.field_start = (_WORD_BITS - compare_bits) - (1 if shifted else 0)
+        self._field_mask = ((1 << compare_bits) - 1) << self.field_start
+        #: Payload size when compressible: first word verbatim + 7 reduced.
+        self.compressed_bits = _WORD_BITS + (_NUM_WORDS - 1) * (
+            _WORD_BITS - compare_bits
+        )
+
+    def _words(self, block: bytes) -> list[int]:
+        return [
+            bytes_to_int(block[i : i + _WORD_BYTES])
+            for i in range(0, BLOCK_BYTES, _WORD_BYTES)
+        ]
+
+    def _strip_field(self, word: int) -> int:
+        """Remove the compared field, closing the gap."""
+        low = word & ((1 << self.field_start) - 1)
+        high = word >> (self.field_start + self.compare_bits)
+        return low | (high << self.field_start)
+
+    def _insert_field(self, reduced: int, field: int) -> int:
+        """Re-insert the shared field into a reduced word."""
+        low = reduced & ((1 << self.field_start) - 1)
+        high = reduced >> self.field_start
+        return (
+            low
+            | (field << self.field_start)
+            | (high << (self.field_start + self.compare_bits))
+        )
+
+    def compress(self, block: bytes, budget_bits: int) -> Optional[Bits]:
+        check_block(block)
+        if self.compressed_bits > budget_bits:
+            return None
+        words = self._words(block)
+        field = (words[0] & self._field_mask) >> self.field_start
+        for word in words[1:]:
+            if (word & self._field_mask) >> self.field_start != field:
+                return None
+        writer = BitWriter()
+        writer.write(words[0], _WORD_BITS)
+        for word in words[1:]:
+            writer.write(self._strip_field(word), _WORD_BITS - self.compare_bits)
+        return writer.getbits()
+
+    def decompress(self, payload: Bits) -> bytes:
+        # Trailing bits beyond compressed_bits are codec padding.
+        if payload.nbits < self.compressed_bits:
+            raise ValueError(
+                f"MSB payload must be at least {self.compressed_bits} bits, "
+                f"got {payload.nbits}"
+            )
+        reader = BitReader(payload)
+        first = reader.read(_WORD_BITS)
+        field = (first & self._field_mask) >> self.field_start
+        words = [first]
+        for _ in range(_NUM_WORDS - 1):
+            reduced = reader.read(_WORD_BITS - self.compare_bits)
+            words.append(self._insert_field(reduced, field))
+        return b"".join(int_to_bytes(w, _WORD_BYTES) for w in words)

@@ -1,0 +1,166 @@
+"""Run-length encoding (Section 3.2.3, Fig. 5).
+
+COP's RLE extracts runs of all-zero or all-one *bytes*.  Each encoded run
+costs exactly 7 metadata bits:
+
+* 1 bit — run value (0x00 vs 0xFF bytes),
+* 1 bit — run length (2 vs 3 bytes),
+* 5 bits — the 16-bit-word offset (0..31) where the run begins.
+
+A 2-byte run therefore frees ``16 - 7 = 9`` bits and a 3-byte run frees
+``24 - 7 = 17``.  The encoder emits runs greedily (left to right, longest
+first) and *stops as soon as the freed total reaches the scheme threshold*
+(34 bits at the 4-byte target: 32 ECC + 2 tag; 66 at the 8-byte target).
+The decompressor replays the identical stop rule: it keeps consuming 7-bit
+metadata chunks, summing the bits each one frees, until the threshold is
+reached — which is how COP knows where metadata ends and data begins
+without storing a run count.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro._bits import Bits, BitReader, BitWriter
+from repro.compression.base import BLOCK_BYTES, CompressionScheme, check_block
+
+__all__ = ["RLECompressor", "Run"]
+
+_OFFSET_BITS = 5  # 32 possible 16-bit-word offsets in a 64-byte block
+_META_BITS = 7
+
+
+class Run:
+    """One encoded run: ``length`` bytes of ``0x00`` or ``0xFF`` at ``offset``."""
+
+    __slots__ = ("offset", "length", "ones")
+
+    def __init__(self, offset: int, length: int, ones: bool) -> None:
+        if offset % 2 or not 0 <= offset < BLOCK_BYTES:
+            raise ValueError(f"run offset must be an even byte offset: {offset}")
+        if length not in (2, 3):
+            raise ValueError(f"run length must be 2 or 3: {length}")
+        self.offset = offset
+        self.length = length
+        self.ones = ones
+
+    @property
+    def freed_bits(self) -> int:
+        """Net bits freed: run bytes removed minus 7 metadata bits."""
+        return 8 * self.length - _META_BITS
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        value = "FF" if self.ones else "00"
+        return f"Run(offset={self.offset}, length={self.length}, value={value})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Run)
+            and (self.offset, self.length, self.ones)
+            == (other.offset, other.length, other.ones)
+        )
+
+
+class RLECompressor(CompressionScheme):
+    """COP run-length encoding with a fixed freed-bit threshold.
+
+    Parameters
+    ----------
+    min_free_bits:
+        The encoder emits runs until at least this many bits are freed; the
+        decoder replays the same rule.  34 for the 4-byte ECC target, 66
+        for the 8-byte target.
+    """
+
+    name = "RLE"
+
+    def __init__(self, min_free_bits: int = 34) -> None:
+        if min_free_bits < 1:
+            raise ValueError("min_free_bits must be positive")
+        self.min_free_bits = min_free_bits
+
+    # -- encoding ------------------------------------------------------------
+
+    def find_runs(self, block: bytes) -> list[Run]:
+        """Greedy left-to-right scan, preferring 3-byte runs.
+
+        Stops as soon as the freed-bit threshold is met.  Runs start on even
+        byte offsets (the 5-bit pointer addresses 16-bit words) but may end
+        on odd offsets; the next candidate offset is the next even byte at
+        or after the run's end.
+        """
+        runs: list[Run] = []
+        freed = 0
+        offset = 0
+        while offset < BLOCK_BYTES - 1 and freed < self.min_free_bits:
+            b0, b1 = block[offset], block[offset + 1]
+            if b0 == b1 and b0 in (0x00, 0xFF):
+                length = 2
+                if offset + 2 < BLOCK_BYTES and block[offset + 2] == b0:
+                    length = 3
+                run = Run(offset, length, ones=(b0 == 0xFF))
+                runs.append(run)
+                freed += run.freed_bits
+                # Next run must start on an even byte at/after run end.
+                offset += length + (length % 2)
+            else:
+                offset += 2
+        return runs if freed >= self.min_free_bits else []
+
+    def compress(self, block: bytes, budget_bits: int) -> Optional[Bits]:
+        check_block(block)
+        runs = self.find_runs(block)
+        if not runs:
+            return None
+        writer = BitWriter()
+        removed = set()
+        for run in runs:
+            writer.write(1 if run.ones else 0, 1)
+            writer.write(1 if run.length == 3 else 0, 1)
+            writer.write(run.offset // 2, _OFFSET_BITS)
+            removed.update(range(run.offset, run.offset + run.length))
+        for index, byte in enumerate(block):
+            if index not in removed:
+                writer.write(byte, 8)
+        payload = writer.getbits()
+        if payload.nbits > budget_bits:
+            # Cannot happen when min_free_bits >= 512 - budget, but guard
+            # against mismatched construction parameters.
+            return None
+        return payload
+
+    # -- decoding ------------------------------------------------------------
+
+    def read_metadata(self, reader: BitReader) -> list[Run]:
+        """Consume 7-bit chunks until the freed-bit threshold is reached."""
+        runs: list[Run] = []
+        freed = 0
+        while freed < self.min_free_bits:
+            ones = bool(reader.read(1))
+            length = 3 if reader.read(1) else 2
+            offset = reader.read(_OFFSET_BITS) * 2
+            run = Run(offset, length, ones)
+            runs.append(run)
+            freed += run.freed_bits
+        return runs
+
+    def decompress(self, payload: Bits) -> bytes:
+        reader = BitReader(payload)
+        runs = self.read_metadata(reader)
+        removed: dict[int, int] = {}
+        for run in runs:
+            fill = 0xFF if run.ones else 0x00
+            for index in range(run.offset, run.offset + run.length):
+                if index in removed or index >= BLOCK_BYTES:
+                    raise ValueError("overlapping or out-of-range RLE runs")
+                removed[index] = fill
+        out = bytearray(BLOCK_BYTES)
+        for index in range(BLOCK_BYTES):
+            if index in removed:
+                out[index] = removed[index]
+            else:
+                out[index] = reader.read(8)
+        # Trailing bits (if any) are codec padding: stored blocks pad the
+        # payload to the SECDED data capacity, and the run metadata already
+        # told us exactly how many data bytes to consume.
+        return bytes(out)

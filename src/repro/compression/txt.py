@@ -1,0 +1,52 @@
+"""Text compression (Section 3.2.4).
+
+ASCII is a 7-bit encoding stored one character per byte, so a block of pure
+ASCII text has a zero MSB in all 64 bytes.  Dropping those MSBs frees 64
+bits — comfortably more than the 34 the 4-byte target needs (the paper's
+"theoretically free 62 bits" counts the 2-bit scheme tag).  UTF-16 text
+whose characters fall in the ASCII range compresses the same way since its
+padding bytes are zero (and zero has a zero MSB).
+
+The scheme cannot reach the 8-byte target (it would need 66 freed bits), so
+the paper's Fig. 8 omits TXT and Fig. 9 includes it — our budget check
+reproduces that automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro._bits import Bits, BitReader, BitWriter
+from repro.compression.base import BLOCK_BYTES, CompressionScheme, check_block
+
+__all__ = ["TextCompressor"]
+
+
+class TextCompressor(CompressionScheme):
+    """Drop the (zero) MSB of every byte of an all-ASCII block."""
+
+    name = "TXT"
+
+    #: Payload size when compressible: 64 seven-bit characters.
+    compressed_bits = 7 * BLOCK_BYTES
+
+    def compress(self, block: bytes, budget_bits: int) -> Optional[Bits]:
+        check_block(block)
+        if self.compressed_bits > budget_bits:
+            return None
+        if any(byte & 0x80 for byte in block):
+            return None
+        writer = BitWriter()
+        for byte in block:
+            writer.write(byte, 7)
+        return writer.getbits()
+
+    def decompress(self, payload: Bits) -> bytes:
+        # Trailing bits beyond compressed_bits are codec padding.
+        if payload.nbits < self.compressed_bits:
+            raise ValueError(
+                f"TXT payload must be at least {self.compressed_bits} bits, "
+                f"got {payload.nbits}"
+            )
+        reader = BitReader(payload)
+        return bytes(reader.read(7) for _ in range(BLOCK_BYTES))

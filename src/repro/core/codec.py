@@ -1,0 +1,193 @@
+"""The COP block encoder/decoder (Fig. 2).
+
+Write path (encoder, Section 3.1):
+
+1. try to compress the 64-byte block into ``capacity_bits`` (tag included);
+2. if compressible: pad the payload with zeros to the SECDED data capacity,
+   split it into ``num_codewords`` data segments, encode each with the
+   per-word SECDED code, XOR the static hash mask into each code word, and
+   store the packed code words — exactly 64 bytes;
+3. if incompressible: store the raw 64 bytes unmodified (no hashing).
+
+Read path (decoder):
+
+1. unpack the stored 64 bytes into code words and XOR the hash masks off;
+2. compute all syndromes and count valid (zero-syndrome) words;
+3. if at least ``codeword_threshold`` words are valid, the block is treated
+   as compressed: invalid words are corrected when possible, the payload is
+   reassembled and decompressed;
+4. otherwise the stored bytes are passed to the cache unmodified — they are
+   uncompressed application data.
+
+The decoder also reports everything the reliability analysis needs: how
+many words were corrected, and whether an uncorrectable (detected) word
+forced it to hand over possibly-corrupt data.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro._bits import Bits, bytes_to_int, int_to_bytes
+from repro.compression.base import BLOCK_BYTES, CompressionScheme, check_block
+from repro.compression.combined import cop_combined_compressor
+from repro.core.config import COPConfig
+from repro.ecc.codes import get_secded
+from repro.ecc.hashmask import static_hash_masks
+from repro.ecc.hsiao import CodeStatus
+
+__all__ = ["BlockKind", "EncodedBlock", "DecodedBlock", "COPCodec"]
+
+
+class BlockKind(enum.Enum):
+    """How the decoder classified a stored block."""
+
+    COMPRESSED = "compressed"  # >= threshold valid code words: decompressed
+    RAW = "raw"  # below threshold: passed through unmodified
+
+
+@dataclass(frozen=True)
+class EncodedBlock:
+    """Encoder output: the 64 bytes to store and whether they are protected."""
+
+    stored: bytes
+    compressed: bool
+
+    def __post_init__(self) -> None:
+        if len(self.stored) != BLOCK_BYTES:
+            raise ValueError("stored block must be 64 bytes")
+
+
+@dataclass(frozen=True)
+class DecodedBlock:
+    """Decoder output.
+
+    ``data`` is the block handed to the LLC.  For ``RAW`` blocks it is the
+    stored bytes verbatim.  ``uncorrectable`` is set when a code word of a
+    compressed block had a detected-uncorrectable error — the block's data
+    is then unreliable (the hardware would raise a machine check).
+    """
+
+    kind: BlockKind
+    data: bytes
+    valid_codewords: int
+    corrected_words: int = 0
+    uncorrectable: bool = False
+
+    @property
+    def is_compressed(self) -> bool:
+        return self.kind is BlockKind.COMPRESSED
+
+
+class COPCodec:
+    """Encoder/decoder for one :class:`COPConfig`.
+
+    The codec is stateless with respect to blocks: everything the decoder
+    needs is recovered from the stored 64 bytes, which is the paper's core
+    claim (no compression-tracking metadata in DRAM).
+    """
+
+    def __init__(
+        self,
+        config: Optional[COPConfig] = None,
+        compressor: Optional[CompressionScheme] = None,
+    ) -> None:
+        self.config = config or COPConfig.four_byte()
+        self.compressor = compressor or cop_combined_compressor(
+            self.config.ecc_bytes
+        )
+        self.code = get_secded(*self.config.code_geometry)
+        self.masks = static_hash_masks(
+            self.config.num_codewords,
+            self.config.codeword_bits,
+            self.config.hash_seed,
+        )
+        self._word_bytes = self.config.codeword_bits // 8
+        self._data_bits = self.config.codeword_data_bits
+
+    # -- helpers -------------------------------------------------------------
+
+    def _unpack_words(self, stored: bytes) -> list[int]:
+        """Split a stored block into hash-removed code-word integers."""
+        step = self._word_bytes
+        return [
+            bytes_to_int(stored[i : i + step]) ^ mask
+            for i, mask in zip(range(0, BLOCK_BYTES, step), self.masks)
+        ]
+
+    def _pack_words(self, words: list[int]) -> bytes:
+        """Apply hash masks and pack code words into a 64-byte block."""
+        return b"".join(
+            int_to_bytes(word ^ mask, self._word_bytes)
+            for word, mask in zip(words, self.masks)
+        )
+
+    # -- encoder -------------------------------------------------------------
+
+    def encode(self, block: bytes) -> EncodedBlock:
+        """Compress + protect a block, or store it raw if incompressible."""
+        check_block(block)
+        payload = self.compressor.compress(block, self.config.capacity_bits)
+        if payload is None:
+            return EncodedBlock(stored=bytes(block), compressed=False)
+        words = []
+        value = payload.value  # zero-padded to capacity by construction
+        for _ in range(self.config.num_codewords):
+            segment = value & ((1 << self._data_bits) - 1)
+            value >>= self._data_bits
+            words.append(self.code.encode(segment))
+        return EncodedBlock(stored=self._pack_words(words), compressed=True)
+
+    # -- decoder -------------------------------------------------------------
+
+    def codeword_count(self, stored: bytes) -> int:
+        """Valid code words the decoder would see (post-hash).
+
+        This is the quantity Table 3 tabulates for incompressible blocks.
+        """
+        check_block(stored)
+        return sum(
+            1 for w in self._unpack_words(stored) if self.code.syndrome(w) == 0
+        )
+
+    def is_alias(self, block: bytes) -> bool:
+        """Would this *raw* block be misread as compressed?
+
+        A block is an alias when, stored unmodified, it presents at least
+        ``codeword_threshold`` valid code words to the decoder.  COP must
+        never write incompressible aliases to DRAM (Fig. 3).
+        """
+        return self.codeword_count(block) >= self.config.codeword_threshold
+
+    def decode(self, stored: bytes) -> DecodedBlock:
+        """Classify a stored block and recover its data (Fig. 2a)."""
+        check_block(stored)
+        words = self._unpack_words(stored)
+        results = [self.code.decode(w) for w in words]
+        valid = sum(1 for r in results if r.status is CodeStatus.CLEAN)
+        if valid < self.config.codeword_threshold:
+            return DecodedBlock(BlockKind.RAW, bytes(stored), valid)
+
+        corrected = 0
+        uncorrectable = False
+        payload_value = 0
+        for index, result in enumerate(results):
+            if result.status is CodeStatus.CORRECTED:
+                corrected += 1
+            elif result.status is CodeStatus.DETECTED:
+                uncorrectable = True
+            payload_value |= result.data << (index * self._data_bits)
+        payload = Bits(payload_value, self.config.capacity_bits)
+        try:
+            data = self.compressor.decompress(payload)
+        except ValueError:
+            # Only reachable when an uncorrectable word scrambled the
+            # payload structure itself; surface it as corrupt data.
+            return DecodedBlock(
+                BlockKind.COMPRESSED, bytes(BLOCK_BYTES), valid, corrected, True
+            )
+        return DecodedBlock(
+            BlockKind.COMPRESSED, data, valid, corrected, uncorrectable
+        )

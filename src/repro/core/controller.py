@@ -1,0 +1,460 @@
+"""Memory-controller model integrating COP with DRAM contents.
+
+:class:`ProtectedMemory` is the *functional* layer: it owns the stored
+64-byte images, applies the protection scheme of the configured mode on
+every write/read, and reports which extra ECC-region blocks an access
+touches so the performance model (which owns the LLC and the DRAM timing)
+can charge for them.  Modes:
+
+``UNPROTECTED``
+    Raw storage, no detection or correction — the paper's baseline for the
+    error-rate reductions of Fig. 10.
+``COP``
+    Compress + inline-ECC when possible, raw otherwise; incompressible
+    aliases are rejected (the LLC must pin them).  No extra DRAM traffic.
+``COP_ER``
+    COP plus the ECC region for incompressible blocks (pointer embedding,
+    entry reuse on writeback, de-aliasing by pointer choice).
+``ECC_REGION``
+    The Virtualized-ECC-like baseline: a contiguous region with a 2-byte
+    entry per data block holding an 11-bit (523,512) whole-block code; ECC
+    blocks are touched on *every* miss and writeback.
+``EMBEDDED_ECC``
+    The Zheng et al. layout the paper discusses in Section 2: the same
+    per-block ECC storage, but collocated at the end of each *DRAM row*,
+    so the extra access usually row-hits ("can improve the ECC access
+    latency, although the same storage overhead ... is imposed").
+``MEMZIP``
+    Shafiee et al.'s MemZip as characterised by the paper: per-block
+    compression moves the embedded check bits inline for compressible
+    blocks (no extra access), but space stays reserved for *all* blocks
+    and explicit per-block compression-tracking metadata is required —
+    modelled here as the ``_memzip_compressed`` map, which is exactly the
+    bookkeeping COP's code-word detection eliminates.
+``ECC_DIMM``
+    Conventional (72,64) SECDED with a ninth chip — the reliability
+    reference point.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro._bits import bytes_to_int, int_to_bytes
+from repro.compression.base import BLOCK_BYTES
+from repro.core.codec import COPCodec
+from repro.core.config import COPConfig
+from repro.core.coper import ENTRIES_PER_BLOCK, CoperBlockFormat, ECCRegion
+from repro.ecc.codes import code_72_64, code_523_512
+from repro.ecc.hsiao import CodeStatus
+
+__all__ = ["ProtectionMode", "ControllerStats", "AccessResult", "ProtectedMemory"]
+
+#: Data blocks whose ECC entries share one 64-byte ECC block in the
+#: ECC-Region baseline (2-byte entry per block "to facilitate addressing").
+_BASELINE_ENTRIES_PER_BLOCK = 32
+
+
+class ProtectionMode(enum.Enum):
+    UNPROTECTED = "unprotected"
+    COP = "cop"
+    COP_ER = "cop-er"
+    ECC_REGION = "ecc-region"
+    EMBEDDED_ECC = "embedded-ecc"
+    MEMZIP = "memzip"
+    ECC_DIMM = "ecc-dimm"
+
+
+@dataclass
+class ControllerStats:
+    reads: int = 0
+    writes: int = 0
+    compressed_reads: int = 0
+    compressed_writes: int = 0
+    raw_writes: int = 0
+    alias_rejects: int = 0
+    corrected_blocks: int = 0
+    uncorrectable_blocks: int = 0
+    entry_allocations: int = 0
+    entry_reuses: int = 0
+    entry_frees: int = 0
+    ecc_block_reads: int = 0
+    ecc_block_writes: int = 0
+
+    @property
+    def compressed_write_fraction(self) -> float:
+        total = self.compressed_writes + self.raw_writes
+        return self.compressed_writes / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one controller-level read or write.
+
+    ``ecc_reads``/``ecc_writes`` list the extra ECC-region block addresses
+    this access touches; the system model runs them through the LLC (ECC
+    blocks are cacheable) before charging DRAM time.
+    """
+
+    data: Optional[bytes] = None
+    accepted: bool = True
+    compressed: bool = False
+    was_uncompressed: bool = False
+    corrected: bool = False
+    uncorrectable: bool = False
+    decompress_cycles: int = 0
+    ecc_reads: tuple[int, ...] = ()
+    ecc_writes: tuple[int, ...] = ()
+
+
+class ProtectedMemory:
+    """Functional main memory behind one protection mode."""
+
+    def __init__(
+        self,
+        mode: ProtectionMode = ProtectionMode.COP,
+        config: Optional[COPConfig] = None,
+        capacity_bytes: int = 8 << 30,
+        region_base: Optional[int] = None,
+    ) -> None:
+        self.mode = mode
+        self.config = config or COPConfig.four_byte()
+        self.capacity_bytes = capacity_bytes
+        self.stats = ControllerStats()
+        self.contents: dict[int, bytes] = {}
+        # Data space is assumed below region_base; the ECC structures of
+        # COP-ER and the baseline live above it so addresses never collide.
+        self.region_base = (
+            region_base if region_base is not None else (capacity_bytes * 7) // 8
+        )
+
+        self.codec: Optional[COPCodec] = None
+        if mode in (
+            ProtectionMode.COP,
+            ProtectionMode.COP_ER,
+            ProtectionMode.MEMZIP,
+        ):
+            self.codec = COPCodec(self.config)
+        #: MemZip's explicit compression-tracking metadata (per block).
+        self._memzip_compressed: set[int] = set()
+        from repro.memory.address import AddressMapper
+
+        self._mapper = AddressMapper()
+
+        self.region: Optional[ECCRegion] = None
+        self.formatter: Optional[CoperBlockFormat] = None
+        self.entry_of: dict[int, int] = {}  # data addr -> ECC entry index
+        self.ever_incompressible: set[int] = set()
+        if mode is ProtectionMode.COP_ER:
+            self.region = ECCRegion()
+            self.formatter = CoperBlockFormat(self.codec, self.region)
+
+        self._wide_code = code_523_512()
+        self._dimm_code = code_72_64()
+        #: Side store of check bits for the baseline / ECC-DIMM modes.
+        self._parity: dict[int, int] = {}
+
+    # -- address helpers -----------------------------------------------------
+
+    def entry_block_addr(self, entry_index: int) -> int:
+        """DRAM address of the ECC-region block holding a COP-ER entry."""
+        return self.region_base + (entry_index // ENTRIES_PER_BLOCK) * BLOCK_BYTES
+
+    def baseline_ecc_addr(self, addr: int) -> int:
+        """DRAM address of the baseline's ECC block for a data block."""
+        index = addr // BLOCK_BYTES
+        return self.region_base + (index // _BASELINE_ENTRIES_PER_BLOCK) * BLOCK_BYTES
+
+    def is_metadata_addr(self, addr: int) -> bool:
+        """Is this address ECC metadata rather than application data?
+
+        The region-based modes keep metadata above ``region_base``; the
+        embedded layouts reserve the last block of every DRAM row.  The
+        system model uses this to route dirty LLC evictions (metadata
+        lines are plain DRAM writes, not re-encoded data writebacks).
+        """
+        if self.mode in (ProtectionMode.EMBEDDED_ECC, ProtectionMode.MEMZIP):
+            last_col = self._mapper.geometry.blocks_per_row - 1
+            return self._mapper.map(addr).col == last_col
+        return addr >= self.region_base
+
+    def embedded_ecc_addr(self, addr: int) -> int:
+        """ECC block collocated in the same DRAM row as the data block.
+
+        The embedded-ECC layout stores a row's check bits in that row's
+        last blocks, so the metadata access almost always row-hits when
+        the data access just opened the row.
+        """
+        location = self._mapper.map(addr)
+        last_col = self._mapper.geometry.blocks_per_row - 1
+        return self._mapper.compose(location._replace(col=last_col))
+
+    # -- write path ------------------------------------------------------------
+
+    def write(self, addr: int, data: bytes) -> AccessResult:
+        """Store a block (a writeback from the LLC or initial population)."""
+        if len(data) != BLOCK_BYTES:
+            raise ValueError("block must be 64 bytes")
+        if addr % BLOCK_BYTES:
+            raise ValueError("address must be block aligned")
+        self.stats.writes += 1
+
+        if self.mode is ProtectionMode.UNPROTECTED:
+            self.contents[addr] = bytes(data)
+            self.stats.raw_writes += 1
+            return AccessResult()
+
+        if self.mode is ProtectionMode.ECC_DIMM:
+            self.contents[addr] = bytes(data)
+            self._parity[addr] = self._dimm_parity(data)
+            self.stats.raw_writes += 1
+            return AccessResult()
+
+        if self.mode in (ProtectionMode.ECC_REGION, ProtectionMode.EMBEDDED_ECC):
+            self.contents[addr] = bytes(data)
+            word = self._wide_code.encode(bytes_to_int(data))
+            self._parity[addr] = self._wide_code.check_of(word)
+            self.stats.raw_writes += 1
+            ecc_addr = (
+                self.baseline_ecc_addr(addr)
+                if self.mode is ProtectionMode.ECC_REGION
+                else self.embedded_ecc_addr(addr)
+            )
+            self.stats.ecc_block_writes += 1
+            return AccessResult(ecc_writes=(ecc_addr,))
+
+        if self.mode is ProtectionMode.MEMZIP:
+            return self._memzip_write(addr, data)
+
+        assert self.codec is not None
+        encoded = self.codec.encode(data)
+        if encoded.compressed:
+            result = self._retire_entry_if_any(addr)
+            self.contents[addr] = encoded.stored
+            self.stats.compressed_writes += 1
+            return AccessResult(compressed=True, ecc_writes=result)
+
+        # Incompressible block.
+        self.ever_incompressible.add(addr)
+        if self.mode is ProtectionMode.COP:
+            if self.codec.is_alias(data):
+                self.stats.alias_rejects += 1
+                return AccessResult(accepted=False)
+            self.contents[addr] = bytes(data)
+            self.stats.raw_writes += 1
+            return AccessResult()
+
+        # COP-ER: embed a pointer and park displaced data in the region.
+        assert self.formatter is not None and self.region is not None
+        entry = self.entry_of.get(addr)
+        if entry is not None:
+            stored = self.formatter.update_entry(entry, data)
+            self.stats.entry_reuses += 1
+        else:
+            placed = self.formatter.store_incompressible(data)
+            if placed is None or placed.aliased:
+                if placed is not None:
+                    self.region.free(placed.entry_index)
+                self.stats.alias_rejects += 1
+                return AccessResult(accepted=False)
+            entry = placed.entry_index
+            stored = placed.stored
+            self.entry_of[addr] = entry
+            self.stats.entry_allocations += 1
+        self.contents[addr] = stored
+        self.stats.raw_writes += 1
+        self.stats.ecc_block_writes += 1
+        return AccessResult(
+            was_uncompressed=True, ecc_writes=(self.entry_block_addr(entry),)
+        )
+
+    def _memzip_write(self, addr: int, data: bytes) -> AccessResult:
+        """MemZip write: inline ECC when compressible, embedded otherwise.
+
+        Space at the row end stays reserved either way (MemZip is "only a
+        performance optimization, and space must still be reserved for
+        ECC regardless of compressibility"), and the compression status
+        lands in explicit metadata rather than being inferred on read.
+        """
+        assert self.codec is not None
+        encoded = self.codec.encode(data)
+        self.contents[addr] = encoded.stored
+        if encoded.compressed:
+            self._memzip_compressed.add(addr)
+            self.stats.compressed_writes += 1
+            return AccessResult(compressed=True)
+        self._memzip_compressed.discard(addr)
+        self.ever_incompressible.add(addr)
+        word = self._wide_code.encode(bytes_to_int(data))
+        self._parity[addr] = self._wide_code.check_of(word)
+        self.stats.raw_writes += 1
+        self.stats.ecc_block_writes += 1
+        return AccessResult(
+            was_uncompressed=True, ecc_writes=(self.embedded_ecc_addr(addr),)
+        )
+
+    def _memzip_read(self, addr: int, stored: bytes) -> AccessResult:
+        assert self.codec is not None
+        latency = self.config.decompress_latency
+        if addr in self._memzip_compressed:
+            decoded = self.codec.decode(stored)
+            self.stats.compressed_reads += 1
+            corrected = decoded.corrected_words > 0
+            self._count_read(corrected, decoded.uncorrectable)
+            return AccessResult(
+                data=decoded.data,
+                compressed=True,
+                corrected=corrected,
+                uncorrectable=decoded.uncorrectable,
+                decompress_cycles=latency,
+            )
+        word = bytes_to_int(stored) | (self._parity[addr] << self._wide_code.k)
+        result = self._wide_code.decode(word)
+        corrected = result.status is CodeStatus.CORRECTED
+        bad = result.status is CodeStatus.DETECTED
+        self._count_read(corrected, bad)
+        self.stats.ecc_block_reads += 1
+        return AccessResult(
+            data=int_to_bytes(result.data, BLOCK_BYTES),
+            was_uncompressed=True,
+            corrected=corrected,
+            uncorrectable=bad,
+            ecc_reads=(self.embedded_ecc_addr(addr),),
+        )
+
+    def _retire_entry_if_any(self, addr: int) -> tuple[int, ...]:
+        """Free a stale COP-ER entry when a block becomes compressible."""
+        if self.mode is not ProtectionMode.COP_ER:
+            return ()
+        entry = self.entry_of.pop(addr, None)
+        if entry is None:
+            return ()
+        assert self.region is not None
+        self.region.free(entry)
+        self.stats.entry_frees += 1
+        self.stats.ecc_block_writes += 1
+        return (self.entry_block_addr(entry),)
+
+    # -- read path ---------------------------------------------------------------
+
+    def read(self, addr: int) -> AccessResult:
+        """Fetch and (per mode) verify/correct/decompress a block."""
+        if addr not in self.contents:
+            raise KeyError(f"block {addr:#x} was never written")
+        self.stats.reads += 1
+        stored = self.contents[addr]
+
+        if self.mode is ProtectionMode.UNPROTECTED:
+            return AccessResult(data=stored)
+
+        if self.mode is ProtectionMode.ECC_DIMM:
+            data, corrected, bad = self._dimm_correct(addr, stored)
+            self._count_read(corrected, bad)
+            return AccessResult(data=data, corrected=corrected, uncorrectable=bad)
+
+        if self.mode in (ProtectionMode.ECC_REGION, ProtectionMode.EMBEDDED_ECC):
+            word = bytes_to_int(stored) | (
+                self._parity[addr] << self._wide_code.k
+            )
+            result = self._wide_code.decode(word)
+            corrected = result.status is CodeStatus.CORRECTED
+            bad = result.status is CodeStatus.DETECTED
+            self._count_read(corrected, bad)
+            self.stats.ecc_block_reads += 1
+            ecc_addr = (
+                self.baseline_ecc_addr(addr)
+                if self.mode is ProtectionMode.ECC_REGION
+                else self.embedded_ecc_addr(addr)
+            )
+            return AccessResult(
+                data=int_to_bytes(result.data, BLOCK_BYTES),
+                corrected=corrected,
+                uncorrectable=bad,
+                ecc_reads=(ecc_addr,),
+            )
+
+        if self.mode is ProtectionMode.MEMZIP:
+            return self._memzip_read(addr, stored)
+
+        assert self.codec is not None
+        decoded = self.codec.decode(stored)
+        latency = self.config.decompress_latency
+        if decoded.is_compressed:
+            self.stats.compressed_reads += 1
+            corrected = decoded.corrected_words > 0
+            self._count_read(corrected, decoded.uncorrectable)
+            return AccessResult(
+                data=decoded.data,
+                compressed=True,
+                corrected=corrected,
+                uncorrectable=decoded.uncorrectable,
+                decompress_cycles=latency,
+            )
+
+        if self.mode is ProtectionMode.COP:
+            return AccessResult(
+                data=decoded.data, was_uncompressed=True, decompress_cycles=latency
+            )
+
+        # COP-ER raw block: chase the pointer and rebuild.
+        assert self.formatter is not None
+        loaded = self.formatter.load_incompressible(stored)
+        self._count_read(loaded.corrected, loaded.uncorrectable)
+        self.stats.ecc_block_reads += 1
+        return AccessResult(
+            data=loaded.data,
+            was_uncompressed=True,
+            corrected=loaded.corrected,
+            uncorrectable=loaded.uncorrectable,
+            decompress_cycles=latency,
+            ecc_reads=(self.entry_block_addr(loaded.entry_index),),
+        )
+
+    def _count_read(self, corrected: bool, uncorrectable: bool) -> None:
+        if corrected:
+            self.stats.corrected_blocks += 1
+        if uncorrectable:
+            self.stats.uncorrectable_blocks += 1
+
+    # -- ECC-DIMM helpers -----------------------------------------------------
+
+    def _dimm_parity(self, data: bytes) -> int:
+        parity = 0
+        for i in range(0, BLOCK_BYTES, 8):
+            word = self._dimm_code.encode(bytes_to_int(data[i : i + 8]))
+            parity |= self._dimm_code.check_of(word) << i  # 8 bits per word
+        return parity
+
+    def _dimm_correct(
+        self, addr: int, stored: bytes
+    ) -> tuple[bytes, bool, bool]:
+        parity = self._parity[addr]
+        out = bytearray()
+        corrected = False
+        bad = False
+        for i in range(0, BLOCK_BYTES, 8):
+            check = (parity >> i) & 0xFF
+            word = bytes_to_int(stored[i : i + 8]) | (check << 64)
+            result = self._dimm_code.decode(word)
+            corrected = corrected or result.status is CodeStatus.CORRECTED
+            bad = bad or result.status is CodeStatus.DETECTED
+            out += int_to_bytes(result.data, 8)
+        return bytes(out), corrected, bad
+
+    # -- fault injection hooks ----------------------------------------------------
+
+    def flip_bit(self, addr: int, bit: int) -> None:
+        """Flip one bit of the stored image of a resident block."""
+        if addr not in self.contents:
+            raise KeyError(f"block {addr:#x} was never written")
+        if not 0 <= bit < 8 * BLOCK_BYTES:
+            raise ValueError(f"bit index out of range: {bit}")
+        image = bytearray(self.contents[addr])
+        image[bit // 8] ^= 1 << (bit % 8)
+        self.contents[addr] = bytes(image)
+
+    def resident_addresses(self) -> list[int]:
+        """All block addresses currently stored."""
+        return list(self.contents.keys())

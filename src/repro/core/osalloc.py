@@ -1,0 +1,130 @@
+"""OS-side page management for the growable COP-ER ECC region.
+
+Section 3.3: "the ECC region occupies a portion of the memory space and
+can grow dynamically as needed.  To allow the region to be resized, the
+operating system can avoid allocating the nearby pages until memory is
+near capacity."
+
+This module models that contract.  Application pages are handed out from
+the bottom of physical memory; the ECC region grows downward from the
+top; between them the OS maintains a *headroom reservation* of pages it
+refuses to give the application while free memory remains elsewhere.
+Only when the system is genuinely near capacity does the allocator eat
+into the headroom — at which point region growth may start failing, which
+COP-ER handles by falling back (the controller reports allocation
+failure and the block stays unprotected or LLC-pinned).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RegionPagePlan", "EccRegionAllocator"]
+
+
+@dataclass(frozen=True)
+class RegionPagePlan:
+    """Snapshot of the physical layout."""
+
+    app_pages: int  # pages handed to applications (from the bottom)
+    region_pages: int  # pages owned by the ECC region (from the top)
+    headroom_pages: int  # reserved gap kept for region growth
+    total_pages: int
+
+    @property
+    def free_pages(self) -> int:
+        return self.total_pages - self.app_pages - self.region_pages
+
+    @property
+    def region_base_page(self) -> int:
+        return self.total_pages - self.region_pages
+
+
+class EccRegionAllocator:
+    """Bump allocators growing toward each other with a guarded gap."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        page_bytes: int = 4096,
+        headroom_pages: int = 64,
+    ) -> None:
+        if capacity_bytes <= 0 or capacity_bytes % page_bytes:
+            raise ValueError("capacity must be a whole number of pages")
+        if headroom_pages < 0:
+            raise ValueError("headroom must be non-negative")
+        self.page_bytes = page_bytes
+        self.total_pages = capacity_bytes // page_bytes
+        self.headroom_pages = min(headroom_pages, self.total_pages)
+        self._app_pages = 0
+        self._region_pages = 0
+
+    # -- inspection ------------------------------------------------------------
+
+    def plan(self) -> RegionPagePlan:
+        return RegionPagePlan(
+            self._app_pages,
+            self._region_pages,
+            self.headroom_pages,
+            self.total_pages,
+        )
+
+    @property
+    def near_capacity(self) -> bool:
+        """True once only the reserved headroom remains free."""
+        free = self.total_pages - self._app_pages - self._region_pages
+        return free <= self.headroom_pages
+
+    # -- application side ----------------------------------------------------
+
+    def allocate_app_page(self) -> int | None:
+        """Hand one page to the application (bottom-up).
+
+        Pages inside the headroom gap are only granted once nothing else
+        is free — "until memory is near capacity" — so the region can
+        usually grow without relocating anything.
+        """
+        free = self.total_pages - self._app_pages - self._region_pages
+        if free <= 0:
+            return None
+        page = self._app_pages
+        self._app_pages += 1
+        return page
+
+    def free_app_pages(self, count: int) -> None:
+        """Model application memory being released (bulk, bump-style)."""
+        if count < 0 or count > self._app_pages:
+            raise ValueError("cannot free more pages than allocated")
+        self._app_pages -= count
+
+    # -- region side -------------------------------------------------------------
+
+    def grow_region(self, pages: int = 1) -> bool:
+        """Extend the ECC region downward by ``pages`` whole pages.
+
+        Fails (returns False) when the application already occupies the
+        space — the signal for COP-ER's fallback behaviour.
+        """
+        if pages < 1:
+            raise ValueError("must grow by at least one page")
+        free = self.total_pages - self._app_pages - self._region_pages
+        if free < pages:
+            return False
+        self._region_pages += pages
+        return True
+
+    def shrink_region(self, pages: int = 1) -> None:
+        """Return pages to the free pool (compressibility improved)."""
+        if pages < 0 or pages > self._region_pages:
+            raise ValueError("cannot shrink below zero")
+        self._region_pages -= pages
+
+    def region_bytes(self) -> int:
+        return self._region_pages * self.page_bytes
+
+    def ensure_region_bytes(self, needed_bytes: int) -> bool:
+        """Grow (never shrink) until the region covers ``needed_bytes``."""
+        needed_pages = -(-needed_bytes // self.page_bytes)
+        if needed_pages <= self._region_pages:
+            return True
+        return self.grow_region(needed_pages - self._region_pages)

@@ -1,0 +1,54 @@
+"""Error-correcting-code substrate.
+
+Provides bit-exact implementations of the codes COP relies on:
+
+* :class:`~repro.ecc.hsiao.HsiaoCode` — odd-weight-column SECDED codes
+  (Hsiao 1970), used for the paper's (72,64), (128,120), (64,56),
+  (523,512) and (512,501) configurations.
+* :class:`~repro.ecc.hamming.HammingSEC` — single-error-correcting Hamming
+  codes, used for the 28-bit COP-ER pointer (+6 check bits).
+* :mod:`~repro.ecc.codes` — a cached registry of the named codes.
+* :mod:`~repro.ecc.hashmask` — the static XOR hash applied to every
+  compressed code word so repeated application data cannot masquerade as
+  valid code words (Section 3.1 of the paper).
+"""
+
+from repro.ecc.codes import (
+    CODE_NAMES,
+    code_64_56,
+    code_72_64,
+    code_128_120,
+    code_512_501,
+    code_523_512,
+    get_hamming,
+    get_secded,
+    pointer_code,
+)
+from repro.ecc.gf256 import GF256, field
+from repro.ecc.hamming import HammingSEC
+from repro.ecc.reed_solomon import ReedSolomon, RSDecodeResult
+from repro.ecc.hashmask import DEFAULT_HASH_SEED, apply_masks, static_hash_masks
+from repro.ecc.hsiao import CodeStatus, DecodeResult, HsiaoCode
+
+__all__ = [
+    "CodeStatus",
+    "DecodeResult",
+    "HsiaoCode",
+    "HammingSEC",
+    "GF256",
+    "field",
+    "ReedSolomon",
+    "RSDecodeResult",
+    "get_secded",
+    "get_hamming",
+    "code_72_64",
+    "code_128_120",
+    "code_64_56",
+    "code_523_512",
+    "code_512_501",
+    "pointer_code",
+    "CODE_NAMES",
+    "static_hash_masks",
+    "apply_masks",
+    "DEFAULT_HASH_SEED",
+]

@@ -1,0 +1,77 @@
+"""Registry of the named codes used throughout the paper.
+
+All constructions are deterministic, so two calls to :func:`get_secded`
+with the same geometry return structurally identical codes; results are
+cached because table construction costs a few milliseconds each.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.ecc.hamming import HammingSEC
+from repro.ecc.hsiao import HsiaoCode
+
+__all__ = [
+    "get_secded",
+    "get_hamming",
+    "code_72_64",
+    "code_128_120",
+    "code_64_56",
+    "code_523_512",
+    "code_512_501",
+    "pointer_code",
+    "CODE_NAMES",
+]
+
+#: Human-readable names for the geometries the paper discusses.
+CODE_NAMES = {
+    (72, 64): "standard ECC-DIMM SECDED (one check byte per 8-byte word)",
+    (128, 120): "COP 4-byte variant: 4 code words per 64-byte block",
+    (64, 56): "COP 8-byte variant: 8 code words per 64-byte block",
+    (523, 512): "wide whole-block code (ECC-Region baseline and COP-ER entries)",
+    (512, 501): "COP-ER valid-bit blocks: 501 valid bits + 11 check bits",
+    (34, 28): "COP-ER pointer: 28-bit ECC-region pointer + 6 check bits (SEC)",
+}
+
+
+@lru_cache(maxsize=None)
+def get_secded(n: int, k: int) -> HsiaoCode:
+    """Cached Hsiao SECDED code of geometry (n, k)."""
+    return HsiaoCode(n, k)
+
+
+@lru_cache(maxsize=None)
+def get_hamming(n: int, k: int) -> HammingSEC:
+    """Cached Hamming SEC code of geometry (n, k)."""
+    return HammingSEC(n, k)
+
+
+def code_72_64() -> HsiaoCode:
+    """The (72,64) SECDED used by conventional ECC DIMMs."""
+    return get_secded(72, 64)
+
+
+def code_128_120() -> HsiaoCode:
+    """The (128,120) SECDED used by COP's preferred 4-byte variant."""
+    return get_secded(128, 120)
+
+
+def code_64_56() -> HsiaoCode:
+    """The (64,56) SECDED used by COP's 8-byte variant."""
+    return get_secded(64, 56)
+
+
+def code_523_512() -> HsiaoCode:
+    """The wide (523,512) whole-block SECDED of the ECC-Region baseline."""
+    return get_secded(523, 512)
+
+
+def code_512_501() -> HsiaoCode:
+    """The (512,501) code protecting COP-ER valid-bit blocks."""
+    return get_secded(512, 501)
+
+
+def pointer_code() -> HammingSEC:
+    """The (34,28) Hamming SEC protecting COP-ER's embedded pointers."""
+    return get_hamming(34, 28)

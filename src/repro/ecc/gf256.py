@@ -1,0 +1,91 @@
+"""GF(2^8) arithmetic for symbol-based (chipkill-class) codes.
+
+The paper's conclusion notes COP "can be naturally extended to provide
+even greater resilience (e.g. chipkill support)" and leaves the
+exploration to future work; :mod:`repro.core.chipkill` performs that
+exploration, and needs finite-field arithmetic over byte symbols — the
+natural symbol size for x8 DRAM chips, where one chip contributes one
+byte per burst beat.
+
+The field is built over the AES polynomial ``x^8 + x^4 + x^3 + x + 1``
+(0x11B) with generator 3; exp/log tables make multiplication and
+inversion O(1).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+__all__ = ["GF256"]
+
+_POLY = 0x11B
+_GENERATOR = 3
+
+
+class GF256:
+    """The finite field GF(2^8) with table-driven arithmetic."""
+
+    def __init__(self) -> None:
+        # exp is doubled in length so products of logs need no reduction.
+        self.exp = [0] * 512
+        self.log = [0] * 256
+        # x (=2) is not primitive modulo 0x11B; the standard generator is
+        # 3 = x + 1, so each step computes v *= 3 as (v<<1 mod poly) ^ v.
+        value = 1
+        for power in range(255):
+            self.exp[power] = value
+            self.log[value] = power
+            doubled = value << 1
+            doubled ^= _POLY if doubled & 0x100 else 0
+            value = doubled ^ value
+        for power in range(255, 512):
+            self.exp[power] = self.exp[power - 255]
+
+    # -- arithmetic -------------------------------------------------------
+
+    @staticmethod
+    def add(a: int, b: int) -> int:
+        """Addition = subtraction = XOR in characteristic 2."""
+        return a ^ b
+
+    def mul(self, a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return self.exp[self.log[a] + self.log[b]]
+
+    def inv(self, a: int) -> int:
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(256)")
+        return self.exp[255 - self.log[a]]
+
+    def div(self, a: int, b: int) -> int:
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a: int, exponent: int) -> int:
+        if a == 0:
+            return 0 if exponent else 1
+        return self.exp[(self.log[a] * exponent) % 255]
+
+    # -- polynomial helpers (coefficients low-order first) --------------------
+
+    def poly_eval(self, coeffs: list[int], x: int) -> int:
+        """Evaluate a polynomial at ``x`` (Horner, high-order first)."""
+        result = 0
+        for coeff in reversed(coeffs):
+            result = self.mul(result, x) ^ coeff
+        return result
+
+    def poly_mul(self, a: list[int], b: list[int]) -> list[int]:
+        out = [0] * (len(a) + len(b) - 1)
+        for i, ca in enumerate(a):
+            if ca == 0:
+                continue
+            for j, cb in enumerate(b):
+                out[i + j] ^= self.mul(ca, cb)
+        return out
+
+
+@lru_cache(maxsize=1)
+def field() -> GF256:
+    """The process-wide GF(256) instance (tables built once)."""
+    return GF256()

@@ -1,0 +1,59 @@
+"""The static hash that de-correlates application data from code words.
+
+Section 3.1: application data is not random — a block holding one 128-bit
+value repeated four times would contain four valid code words whenever that
+value happens to be a codeword, wrecking the alias odds.  COP therefore
+XORs a *different static mask into each 128-bit segment* when the encoder
+writes a compressed block, and again before the decoder checks syndromes.
+Uncompressed blocks are written as-is (no hashing), so to the decoder they
+look like four independent uniformly-hashed words, restoring the
+0.39 %-per-word alias probability even for degenerate data.
+
+Masks are derived deterministically from a seed with SHA-256 in counter
+mode, so encoder and decoder always agree and the library needs no state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+
+__all__ = ["DEFAULT_HASH_SEED", "static_hash_masks", "apply_masks"]
+
+#: Default seed; any fixed value works, it only must differ per segment.
+DEFAULT_HASH_SEED = 0xC0FFEE_C09
+
+
+@lru_cache(maxsize=None)
+def static_hash_masks(
+    num_words: int, word_bits: int, seed: int = DEFAULT_HASH_SEED
+) -> tuple[int, ...]:
+    """Deterministic per-segment XOR masks.
+
+    Returns ``num_words`` distinct ``word_bits``-wide masks.  Distinctness
+    across segments is what defeats repeated-value blocks: the same 128-bit
+    datum XORed with two different masks cannot satisfy two code words
+    simultaneously unless the code words themselves differ accordingly.
+    """
+    masks = []
+    nbytes = (word_bits + 7) // 8
+    counter = 0
+    while len(masks) < num_words:
+        digest = b""
+        while len(digest) < nbytes:
+            block = hashlib.sha256(
+                seed.to_bytes(16, "little") + counter.to_bytes(8, "little")
+            ).digest()
+            digest += block
+            counter += 1
+        mask = int.from_bytes(digest[:nbytes], "little") & ((1 << word_bits) - 1)
+        if mask not in masks:
+            masks.append(mask)
+    return tuple(masks)
+
+
+def apply_masks(words: list[int], masks: tuple[int, ...]) -> list[int]:
+    """XOR each word with its positional mask (involution: applies/removes)."""
+    if len(words) != len(masks):
+        raise ValueError(f"{len(words)} words but {len(masks)} masks")
+    return [w ^ m for w, m in zip(words, masks)]

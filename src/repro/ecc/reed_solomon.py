@@ -1,0 +1,261 @@
+"""Shortened Reed-Solomon codes over GF(2^8).
+
+Chipkill protection treats each DRAM chip's per-beat contribution as one
+byte symbol; correcting a whole-chip failure means correcting one symbol
+per code word.  A Reed-Solomon code with ``2t`` check symbols corrects
+``t`` unknown symbol errors — ``RS(n, n-2)`` corrects any single symbol,
+which is exactly the chipkill requirement.
+
+Implementation notes:
+
+* generator polynomial ``g(x) = (x - a^0)(x - a^1) ... (x - a^(2t-1))``
+  with ``a`` the field generator (3);
+* systematic encoding: check symbols are the remainder of
+  ``message * x^2t mod g(x)``;
+* decoding (t = 1, the case COP-chipkill uses) solves the two syndromes
+  directly: ``S0 = e`` and ``S1 = e * a^i`` give the error value and
+  location in closed form.  For larger ``t`` we implement
+  Berlekamp-Massey + Chien search + Forney, which the tests exercise up
+  to t = 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.ecc.gf256 import field
+
+__all__ = ["ReedSolomon", "RSDecodeResult"]
+
+
+@dataclass(frozen=True)
+class RSDecodeResult:
+    """Outcome of decoding one RS code word."""
+
+    ok: bool  # True when clean or fully corrected
+    data: tuple[int, ...]
+    corrected_symbols: int = 0
+    detected: bool = False  # uncorrectable error detected
+
+
+class ReedSolomon:
+    """A shortened systematic RS(n, k) code over GF(256).
+
+    Code words are symbol sequences ``data[0..k-1] + check[0..2t-1]``.
+    ``n`` may be at most 255.
+    """
+
+    def __init__(self, n: int, k: int) -> None:
+        if not 0 < k < n <= 255:
+            raise ValueError(f"invalid RS geometry ({n}, {k})")
+        if (n - k) % 2:
+            raise ValueError("RS needs an even number of check symbols")
+        self.n = n
+        self.k = k
+        self.t = (n - k) // 2
+        self._gf = field()
+        generator = [1]
+        for i in range(2 * self.t):
+            root = self._gf.pow(3, i)
+            generator = self._gf.poly_mul(generator, [root, 1])
+        self._generator = generator  # low-order first, degree 2t
+
+    # -- encoding -------------------------------------------------------------
+
+    def encode(self, data: Sequence[int]) -> list[int]:
+        """Append ``2t`` check symbols to ``k`` data symbols."""
+        if len(data) != self.k:
+            raise ValueError(f"expected {self.k} data symbols")
+        if any(not 0 <= s <= 255 for s in data):
+            raise ValueError("symbols must be bytes")
+        gf = self._gf
+        # Polynomial long division of data * x^2t by g(x).
+        remainder = [0] * (2 * self.t)
+        for symbol in reversed(data):  # high-order data symbol first
+            factor = symbol ^ remainder[-1]
+            remainder = [0] + remainder[:-1]
+            if factor:
+                for i in range(2 * self.t):
+                    remainder[i] ^= gf.mul(factor, self._generator[i])
+        return list(data) + remainder
+
+    # -- syndromes ------------------------------------------------------------
+
+    def syndromes(self, word: Sequence[int]) -> list[int]:
+        """``S_j = word(a^j)`` for j in 0..2t-1; all zero means valid."""
+        if len(word) != self.n:
+            raise ValueError(f"expected {self.n} symbols")
+        gf = self._gf
+        # word as polynomial: position i (data first) has degree...
+        # Encoder produced [data, checks] with checks the low-order part:
+        # codeword poly c(x) = data(x)*x^2t + rem(x); symbol order here is
+        # data[0] = lowest data degree. Map position -> degree:
+        out = []
+        for j in range(2 * self.t):
+            x = gf.pow(3, j)
+            acc = 0
+            for position in range(self.n):
+                degree = self._degree(position)
+                acc ^= gf.mul(word[position], gf.pow(x, degree))
+            out.append(acc)
+        return out
+
+    def _degree(self, position: int) -> int:
+        """Polynomial degree of a symbol position."""
+        if position < self.k:
+            return position + 2 * self.t  # data occupies the high degrees
+        return position - self.k  # checks occupy degrees 0 .. 2t-1
+
+    def is_codeword(self, word: Sequence[int]) -> bool:
+        return all(s == 0 for s in self.syndromes(word))
+
+    # -- decoding -------------------------------------------------------------
+
+    def decode(self, word: Sequence[int]) -> RSDecodeResult:
+        """Correct up to ``t`` symbol errors."""
+        syndromes = self.syndromes(word)
+        if all(s == 0 for s in syndromes):
+            return RSDecodeResult(True, tuple(word[: self.k]))
+        corrected = self._correct(list(word), syndromes)
+        if corrected is None:
+            return RSDecodeResult(False, tuple(word[: self.k]), detected=True)
+        fixed, count = corrected
+        return RSDecodeResult(True, tuple(fixed[: self.k]), corrected_symbols=count)
+
+    def decode_erasure(
+        self, word: Sequence[int], position: int
+    ) -> RSDecodeResult:
+        """Recover one known-bad symbol position (a failed chip).
+
+        With the failing chip identified (erasure decoding), a single
+        check symbol's worth of information suffices; we reconstruct by
+        solving S0 directly.
+        """
+        gf = self._gf
+        syndromes = self.syndromes(word)
+        if all(s == 0 for s in syndromes):
+            return RSDecodeResult(True, tuple(word[: self.k]))
+        # Error polynomial e * x^degree: S0 = e, verify with S1.
+        error = syndromes[0]
+        degree = self._degree(position)
+        expected_s1 = gf.mul(error, gf.pow(3, degree))
+        if syndromes[1] != expected_s1:
+            return RSDecodeResult(False, tuple(word[: self.k]), detected=True)
+        fixed = list(word)
+        fixed[position] ^= error
+        if not self.is_codeword(fixed):
+            return RSDecodeResult(False, tuple(word[: self.k]), detected=True)
+        return RSDecodeResult(True, tuple(fixed[: self.k]), corrected_symbols=1)
+
+    # -- error search ------------------------------------------------------------
+
+    def _correct(
+        self, word: list[int], syndromes: list[int]
+    ) -> Optional[tuple[list[int], int]]:
+        gf = self._gf
+        if self.t == 1:
+            # Closed form: S0 = e, S1 = e * a^degree.
+            s0, s1 = syndromes
+            if s0 == 0:
+                return None  # error in a phantom (shortened) position
+            ratio = gf.div(s1, s0)  # a^degree
+            degree = gf.log[ratio]
+            position = self._position(degree)
+            if position is None:
+                return None
+            word[position] ^= s0
+            return (word, 1) if self.is_codeword(word) else None
+
+        # General case: Berlekamp-Massey for the error locator.
+        locator = self._berlekamp_massey(syndromes)
+        if locator is None:
+            return None
+        positions = self._chien_search(locator)
+        if positions is None or len(positions) != len(locator) - 1:
+            return None
+        values = self._forney(syndromes, locator, positions)
+        if values is None:
+            return None
+        count = 0
+        for degree, value in zip(positions, values):
+            position = self._position(degree)
+            if position is None or value == 0:
+                return None
+            word[position] ^= value
+            count += 1
+        return (word, count) if self.is_codeword(word) else None
+
+    def _position(self, degree: int) -> Optional[int]:
+        """Inverse of :meth:`_degree`, rejecting shortened positions."""
+        if degree < 2 * self.t:
+            position = self.k + degree
+        else:
+            position = degree - 2 * self.t
+            if position >= self.k:
+                return None
+        return position if 0 <= position < self.n else None
+
+    def _berlekamp_massey(self, syndromes: list[int]) -> Optional[list[int]]:
+        gf = self._gf
+        locator = [1]
+        previous = [1]
+        shift = 1
+        for step, syndrome in enumerate(syndromes):
+            delta = syndrome
+            for i in range(1, len(locator)):
+                if step - i >= 0:
+                    delta ^= gf.mul(locator[i], syndromes[step - i])
+            if delta == 0:
+                shift += 1
+                continue
+            candidate = locator[:]
+            scaled = [0] * shift + [gf.mul(delta, c) for c in previous]
+            if len(scaled) > len(locator):
+                locator = locator + [0] * (len(scaled) - len(locator))
+            for i, c in enumerate(scaled):
+                locator[i] ^= c
+            if 2 * (len(candidate) - 1) <= step:
+                previous = [gf.div(c, delta) for c in candidate]
+                shift = 1
+            else:
+                shift += 1
+        if len(locator) - 1 > self.t:
+            return None
+        return locator
+
+    def _chien_search(self, locator: list[int]) -> Optional[list[int]]:
+        gf = self._gf
+        degrees = []
+        for degree in range(255):
+            x_inv = gf.pow(3, (255 - degree) % 255)
+            if gf.poly_eval(locator, x_inv) == 0:
+                degrees.append(degree)
+        return degrees or None
+
+    def _forney(
+        self, syndromes: list[int], locator: list[int], degrees: list[int]
+    ) -> Optional[list[int]]:
+        gf = self._gf
+        # Error evaluator: omega(x) = S(x) * locator(x) mod x^2t.
+        s_poly = list(syndromes)
+        omega_full = gf.poly_mul(s_poly, locator)
+        omega = omega_full[: 2 * self.t]
+        # Formal derivative of the locator (char 2: even terms vanish).
+        derivative = [
+            coeff if i % 2 == 1 else 0 for i, coeff in enumerate(locator)
+        ][1:]
+        values = []
+        for degree in degrees:
+            x_inv = gf.pow(3, (255 - degree) % 255)
+            denom = gf.poly_eval(derivative, x_inv)
+            if denom == 0:
+                return None
+            # Forney with first consecutive root b = 0 carries an X_l
+            # factor: e_l = X_l * omega(X_l^-1) / locator'(X_l^-1).
+            value = gf.mul(
+                gf.pow(3, degree),
+                gf.div(gf.poly_eval(omega, x_inv), denom),
+            )
+            values.append(value)
+        return values

@@ -1,0 +1,13 @@
+"""Experiment harnesses: one module per figure/table of the paper.
+
+Every module exposes ``run(scale=...) -> ExperimentTable`` and a ``main()``
+that prints the table; the CLI (``cop-experiments``) and the pytest-
+benchmark wrappers in ``benchmarks/`` drive them.  ``scale`` controls
+sample counts / epoch counts so the same harness serves smoke tests
+(``"smoke"``), the default benchmark runs (``"small"``) and full-fidelity
+runs (``"full"``).
+"""
+
+from repro.experiments.common import ExperimentTable, Scale, geomean
+
+__all__ = ["ExperimentTable", "Scale", "geomean"]

@@ -1,0 +1,99 @@
+"""Command-line entry point: regenerate any figure/table of the paper.
+
+Examples::
+
+    cop-experiments fig9                 # Fig. 9 at the default scale
+    cop-experiments fig11 --scale smoke  # quick performance sanity run
+    cop-experiments all --scale full     # the whole evaluation
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable
+
+from repro.experiments import (
+    chipkill_ext,
+    fig01_fpc_targets,
+    fig04_msb_shift,
+    fig08_compress_8b,
+    fig09_compress_4b,
+    fig10_error_rate,
+    fig11_performance,
+    fig12_ecc_storage,
+    intext_claims,
+    mixes,
+    power_motivation,
+    sweeps,
+    table3_aliases,
+)
+from repro.experiments.common import Scale
+
+__all__ = ["EXPERIMENTS", "main"]
+
+EXPERIMENTS: dict[str, Callable[[Scale], object]] = {
+    "fig1": fig01_fpc_targets.run,
+    "fig4": fig04_msb_shift.run,
+    "fig8": fig08_compress_8b.run,
+    "fig9": fig09_compress_4b.run,
+    "fig10": fig10_error_rate.run,
+    "fig11": fig11_performance.run,
+    "fig12": fig12_ecc_storage.run,
+    "table3": table3_aliases.run,
+    "intext": intext_claims.run,
+    "power": power_motivation.run,
+    "chipkill": chipkill_ext.run,
+    "mixes": mixes.run,
+    "sweep-latency": sweeps.latency_sweep,
+    "sweep-fit": sweeps.fit_sweep,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="cop-experiments",
+        description="Reproduce the tables and figures of the COP paper "
+        "(ISCA 2015).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "report"],
+        help="which figure/table to regenerate ('report' summarises "
+        "saved results against the paper's claims)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=[s.value for s in Scale],
+        default=Scale.from_env().value,
+        help="sample/epoch budget (default: small, or $REPRO_SCALE)",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render each column as an ASCII bar chart",
+    )
+    args = parser.parse_args(argv)
+    scale = Scale(args.scale)
+
+    if args.experiment == "report":
+        from repro.experiments import report
+
+        report.main()
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        table = EXPERIMENTS[name](scale)
+        print(table.to_text())
+        if args.chart:
+            for column in table.columns:
+                print()
+                print(table.to_ascii_chart(column))
+        print()
+        path = table.save(name)
+        print(f"[saved {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,178 @@
+"""Shared plumbing for the experiment harnesses."""
+
+from __future__ import annotations
+
+import enum
+import math
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.workloads.blocks import BlockSource
+from repro.workloads.profiles import PROFILES, BenchmarkProfile
+from repro.workloads.tracegen import TraceGenerator
+
+__all__ = [
+    "Scale",
+    "ExperimentTable",
+    "geomean",
+    "sample_blocks",
+    "results_dir",
+]
+
+
+class Scale(enum.Enum):
+    """How much work an experiment does.
+
+    ``SMOKE`` keeps CI fast, ``SMALL`` is the default for the benchmark
+    harness, ``FULL`` approaches the paper's sample sizes (minutes of
+    runtime in pure Python).
+    """
+
+    SMOKE = "smoke"
+    SMALL = "small"
+    FULL = "full"
+
+    @classmethod
+    def from_env(cls, default: "Scale" = None) -> "Scale":
+        """Scale selection via the REPRO_SCALE environment variable."""
+        name = os.environ.get("REPRO_SCALE", "").lower()
+        for scale in cls:
+            if scale.value == name:
+                return scale
+        return default or cls.SMALL
+
+    def pick(self, smoke: int, small: int, full: int) -> int:
+        """Choose a work amount for this scale."""
+        return {Scale.SMOKE: smoke, Scale.SMALL: small, Scale.FULL: full}[self]
+
+
+@dataclass
+class ExperimentTable:
+    """A printable reproduction of one figure/table.
+
+    ``rows`` maps a row label (usually a benchmark) to one value per
+    column.  ``notes`` carries headline numbers ("average", paper values)
+    that EXPERIMENTS.md records.
+    """
+
+    title: str
+    columns: tuple[str, ...]
+    rows: list[tuple[str, tuple[float, ...]]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    percent: bool = True
+
+    def add(self, label: str, values: Iterable[float]) -> None:
+        values = tuple(values)
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row {label!r} has {len(values)} values for "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append((label, values))
+
+    def column(self, name: str) -> list[float]:
+        index = self.columns.index(name)
+        return [values[index] for _, values in self.rows]
+
+    def row(self, label: str) -> tuple[float, ...]:
+        for row_label, values in self.rows:
+            if row_label == label:
+                return values
+        raise KeyError(label)
+
+    def _fmt(self, value: float) -> str:
+        if self.percent:
+            return f"{100 * value:6.1f}%"
+        return f"{value:.5g}"
+
+    def to_text(self) -> str:
+        label_width = max(
+            [len("benchmark")] + [len(label) for label, _ in self.rows]
+        )
+        col_width = max(12, max(len(c) for c in self.columns) + 1)
+        lines = [self.title, "=" * len(self.title)]
+        header = "benchmark".ljust(label_width) + "".join(
+            c.rjust(col_width) for c in self.columns
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for label, values in self.rows:
+            lines.append(
+                label.ljust(label_width)
+                + "".join(self._fmt(v).rjust(col_width) for v in values)
+            )
+        for note in self.notes:
+            lines.append(f"  {note}")
+        return "\n".join(lines)
+
+    def to_ascii_chart(self, column: Optional[str] = None, width: int = 40) -> str:
+        """Render one column as a horizontal bar chart (figures are bar
+        charts in the paper; this keeps the reproduction eyeball-able in a
+        terminal)."""
+        column = column or self.columns[0]
+        index = self.columns.index(column)
+        values = [values[index] for _, values in self.rows]
+        top = max(max(values, default=0.0), 1e-12)
+        label_width = max(len(label) for label, _ in self.rows)
+        lines = [f"{self.title} — {column}"]
+        for label, row in self.rows:
+            value = row[index]
+            bar = "#" * max(0, round(width * value / top))
+            lines.append(
+                f"{label.ljust(label_width)} |{bar.ljust(width)}| "
+                f"{self._fmt(value).strip()}"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (raw numbers, for downstream tooling)."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": {label: list(values) for label, values in self.rows},
+            "notes": list(self.notes),
+            "percent": self.percent,
+        }
+
+    def save(self, name: str) -> Path:
+        """Write the rendered table (and raw JSON) under results/."""
+        import json
+
+        path = results_dir() / f"{name}.txt"
+        path.write_text(self.to_text() + "\n")
+        (results_dir() / f"{name}.json").write_text(
+            json.dumps(self.to_dict(), indent=2) + "\n"
+        )
+        return path
+
+
+def results_dir() -> Path:
+    """Directory collecting rendered experiment tables."""
+    path = Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (Fig. 11 reports a geomean across benchmarks)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def sample_blocks(
+    profile: BenchmarkProfile | str, count: int, seed: int = 1
+) -> list[bytes]:
+    """Blocks referenced by a benchmark's miss stream (content included).
+
+    Mirrors the paper's methodology: compressibility is measured over the
+    blocks *accessed* (DRAM traffic), not over a uniform footprint scan.
+    """
+    if isinstance(profile, str):
+        profile = PROFILES[profile]
+    source = BlockSource(profile, seed=seed)
+    trace = TraceGenerator(profile, seed=seed)
+    return [source.block(addr) for addr in trace.sample_blocks(count)]

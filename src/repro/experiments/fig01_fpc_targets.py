@@ -1,0 +1,66 @@
+"""Figure 1: percent of blocks compressible under FPC vs target ratio.
+
+For each benchmark the paper plots, and for the SPECint 2006 mean, we
+compute the fraction of accessed blocks whose FPC-compressed size achieves
+at least each target compression ratio.  The headline shape: curves fall
+with the target, and libquantum — nearly incompressible at traditional 50 %
+targets — still compresses the majority of its blocks at ~10 %.
+"""
+
+from __future__ import annotations
+
+from repro.compression.base import BLOCK_BITS
+from repro.compression.fpc import FPCCompressor
+from repro.experiments.common import ExperimentTable, Scale, sample_blocks
+from repro.workloads.profiles import FIG1_BENCHMARKS, SPECINT, profiles_in_suite
+
+__all__ = ["TARGET_RATIOS", "run", "main"]
+
+#: Target compression ratios on the figure's x axis.
+TARGET_RATIOS = tuple(r / 100 for r in range(0, 101, 10))
+
+
+def _curve(blocks: list[bytes], fpc: FPCCompressor) -> tuple[float, ...]:
+    sizes = [fpc.compressed_size_bits(block) for block in blocks]
+    out = []
+    for ratio in TARGET_RATIOS:
+        budget = int(BLOCK_BITS * (1 - ratio))
+        out.append(sum(1 for s in sizes if s <= budget) / len(sizes))
+    return tuple(out)
+
+
+def run(scale: Scale = Scale.SMALL) -> ExperimentTable:
+    samples = scale.pick(smoke=200, small=2000, full=20000)
+    fpc = FPCCompressor()
+    table = ExperimentTable(
+        title="Figure 1: blocks compressible with FPC at a target ratio",
+        columns=tuple(f"{round(100 * r)}%" for r in TARGET_RATIOS),
+    )
+    for name in FIG1_BENCHMARKS:
+        table.add(name, _curve(sample_blocks(name, samples), fpc))
+
+    specint = profiles_in_suite(SPECINT)
+    curves = [
+        _curve(sample_blocks(p, max(samples // 2, 100)), fpc) for p in specint
+    ]
+    table.add(
+        "SPECint 2006",
+        tuple(sum(c[i] for c in curves) / len(curves) for i in range(len(TARGET_RATIOS))),
+    )
+    libq = table.row("libquantum")
+    table.notes.append(
+        "paper: libquantum barely compressible at 50% targets yet most "
+        "blocks compress ~10%; measured "
+        f"{100 * libq[1]:.0f}% at 10% vs {100 * libq[5]:.0f}% at 50%"
+    )
+    return table
+
+
+def main() -> None:
+    table = run(Scale.from_env())
+    print(table.to_text())
+    table.save("fig01_fpc_targets")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Shared simulation driver for the Fig. 10/11/12 experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import COPConfig
+from repro.core.controller import ProtectedMemory, ProtectionMode
+from repro.experiments.common import Scale
+from repro.reliability.parma import VulnerabilityReport, VulnerabilityTracker
+from repro.simulation.config import SCALED_SYSTEM, SystemConfig
+from repro.simulation.system import MultiCoreSystem, PerfResult
+from repro.workloads.blocks import BlockSource
+from repro.workloads.profiles import PROFILES, PARSEC, BenchmarkProfile
+from repro.workloads.tracegen import TraceGenerator
+
+__all__ = ["SimOutcome", "run_benchmark", "epochs_for"]
+
+#: Address-space stride separating the rate-mode copies of a benchmark.
+_CORE_STRIDE = 1 << 40
+
+
+@dataclass(frozen=True)
+class SimOutcome:
+    perf: PerfResult
+    vulnerability: VulnerabilityReport
+    memory: ProtectedMemory
+
+
+def epochs_for(scale: Scale) -> int:
+    return scale.pick(smoke=60, small=600, full=6000)
+
+
+def run_benchmark(
+    benchmark: str | BenchmarkProfile,
+    mode: ProtectionMode,
+    scale: Scale = Scale.SMALL,
+    cores: int = 4,
+    cop_config: Optional[COPConfig] = None,
+    system: SystemConfig = SCALED_SYSTEM,
+    seed: int = 11,
+    track: bool = True,
+) -> SimOutcome:
+    """Simulate one benchmark under one protection mode.
+
+    SPEC benchmarks run in rate mode — ``cores`` copies with disjoint
+    address spaces; PARSEC benchmarks run as ``cores`` threads sharing one
+    footprint (the paper's 4-threaded native runs).
+    """
+    profile = (
+        PROFILES[benchmark] if isinstance(benchmark, str) else benchmark
+    )
+    memory = ProtectedMemory(mode, config=cop_config)
+    footprint_blocks = max(
+        2048,
+        profile.footprint_mb * (1 << 20) // 64 // system.footprint_divider,
+    )
+    shared_space = profile.suite == PARSEC
+
+    traces, sources, ipcs = [], [], []
+    epoch_count = epochs_for(scale)
+    for core in range(cores):
+        base = 0 if shared_space else core * _CORE_STRIDE
+        content_seed = seed if shared_space else seed * 1000 + core
+        generator = TraceGenerator(
+            profile,
+            seed=seed * 1000 + core,
+            footprint_blocks=footprint_blocks,
+            base_addr=base,
+        )
+        traces.append(generator.epochs(epoch_count))
+        sources.append(BlockSource(profile, seed=content_seed))
+        ipcs.append(profile.perfect_ipc)
+
+    tracker = VulnerabilityTracker() if track else None
+    sim = MultiCoreSystem(memory, traces, sources, ipcs, system, tracker=tracker)
+    perf = sim.run()
+    report = (
+        tracker.report()
+        if tracker is not None
+        else VulnerabilityReport(0.0, 0.0, 0, 0)
+    )
+    return SimOutcome(perf, report, memory)

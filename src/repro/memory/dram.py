@@ -1,0 +1,246 @@
+"""Bank-level DDR3 timing model with an open-row policy.
+
+The model tracks, per bank, the open row, the earliest time the bank can
+accept a new column/row command, and the last activate time (to honour
+tRAS before a precharge).  Each channel serialises data bursts on its bus.
+Requests are processed in arrival order; :meth:`DRAMSystem.access_batch`
+applies FR-FCFS-style reordering inside a batch of simultaneously ready
+requests (row hits first), which is where scheduling matters for the
+interval performance model.
+
+All times are nanoseconds.  Defaults model DDR3-1600 (tCK = 1.25 ns,
+11-11-11-28, BL8) per Table 1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import NamedTuple, Optional, Sequence
+
+from repro.memory.address import AddressMapper, DRAMGeometry, MappedAddress
+
+__all__ = [
+    "DRAMTiming",
+    "PagePolicy",
+    "DRAMConfig",
+    "DDR3_1600",
+    "AccessTiming",
+    "DRAMStats",
+    "DRAMSystem",
+]
+
+
+@dataclass(frozen=True)
+class DRAMTiming:
+    """Core timing parameters, in memory-clock cycles unless noted."""
+
+    tck_ns: float = 1.25  # DDR3-1600: 800 MHz clock, 1600 MT/s
+    cl: int = 11  # CAS latency
+    trcd: int = 11  # activate -> column command
+    trp: int = 11  # precharge
+    tras: int = 28  # activate -> precharge
+    burst_cycles: int = 4  # BL8 at double data rate
+    tfaw: int = 24  # four-activate window per rank (0 disables)
+    trefi_ns: float = 7800.0  # refresh interval (0 disables refresh)
+    trfc_ns: float = 260.0  # refresh cycle time (4 Gb-class devices)
+
+    def ns(self, cycles: float) -> float:
+        return cycles * self.tck_ns
+
+    @property
+    def row_hit_ns(self) -> float:
+        """Column access + burst on an already-open row."""
+        return self.ns(self.cl + self.burst_cycles)
+
+    @property
+    def row_miss_ns(self) -> float:
+        """Precharge + activate + column access + burst."""
+        return self.ns(self.trp + self.trcd + self.cl + self.burst_cycles)
+
+
+class PagePolicy(enum.Enum):
+    """Row-buffer management policy.
+
+    The paper assumes an open-row policy (its embedded-ECC discussion
+    depends on it); the closed-page alternative precharges after every
+    access, trading row hits for lower conflict latency — exposed for the
+    policy ablation bench.
+    """
+
+    OPEN = "open"
+    CLOSED = "closed"
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    geometry: DRAMGeometry = field(default_factory=DRAMGeometry)
+    timing: DRAMTiming = field(default_factory=DRAMTiming)
+    page_policy: PagePolicy = PagePolicy.OPEN
+
+
+#: The Table 1 configuration.
+DDR3_1600 = DRAMConfig()
+
+
+class AccessTiming(NamedTuple):
+    """When one request started and finished, and how it hit."""
+
+    start_ns: float
+    complete_ns: float
+    row_hit: bool
+
+    @property
+    def latency_ns(self) -> float:
+        return self.complete_ns - self.start_ns
+
+
+@dataclass
+class DRAMStats:
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    busy_ns: float = 0.0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+
+class _Bank:
+    __slots__ = ("open_row", "ready_ns", "act_ns")
+
+    def __init__(self) -> None:
+        self.open_row: Optional[int] = None
+        self.ready_ns = 0.0
+        self.act_ns = 0.0
+
+
+class DRAMSystem:
+    """Functional-timing model of the whole memory system."""
+
+    def __init__(self, config: DRAMConfig = DDR3_1600) -> None:
+        self.config = config
+        self.mapper = AddressMapper(config.geometry)
+        geometry = config.geometry
+        self._banks = [
+            [
+                [_Bank() for _ in range(geometry.banks_per_rank)]
+                for _ in range(geometry.ranks_per_channel)
+            ]
+            for _ in range(geometry.channels)
+        ]
+        self._bus_free_ns = [0.0] * geometry.channels
+        #: Rolling activate history per (channel, rank) for tFAW.
+        self._act_history: dict[tuple[int, int], list[float]] = {}
+        self.stats = DRAMStats()
+
+    # -- refresh -----------------------------------------------------------
+
+    def _after_refresh(self, t_ns: float) -> float:
+        """Push a command start time out of any refresh window.
+
+        All ranks refresh in lockstep every tREFI, occupying the last
+        tRFC of each interval.  A refresh also closes every row (the
+        DRAM's auto-precharge on REF), which the row-buffer state ignores
+        here — a small optimism that applies equally to every protection
+        mode under comparison.
+        """
+        timing = self.config.timing
+        if timing.trefi_ns <= 0:
+            return t_ns
+        position = t_ns % timing.trefi_ns
+        if position >= timing.trefi_ns - timing.trfc_ns:
+            return t_ns - position + timing.trefi_ns
+        return t_ns
+
+    # -- single access ---------------------------------------------------
+
+    def would_row_hit(self, addr: int) -> bool:
+        """Peek whether ``addr`` would hit the open row right now."""
+        loc = self.mapper.map(addr)
+        bank = self._banks[loc.channel][loc.rank][loc.bank]
+        return bank.open_row == loc.row
+
+    def access(self, addr: int, is_write: bool, now_ns: float) -> AccessTiming:
+        """Perform one 64-byte access, updating bank and bus state."""
+        timing = self.config.timing
+        loc: MappedAddress = self.mapper.map(addr)
+        bank = self._banks[loc.channel][loc.rank][loc.bank]
+
+        start = self._after_refresh(max(now_ns, bank.ready_ns))
+        if bank.open_row == loc.row:
+            row_hit = True
+            data_ready = start + timing.ns(timing.cl)
+        else:
+            row_hit = False
+            t = start
+            if bank.open_row is not None:
+                # Precharge may not begin before tRAS from the activate.
+                t = max(t, bank.act_ns + timing.ns(timing.tras))
+                t += timing.ns(timing.trp)
+            # tFAW: at most four activates per rank per rolling window.
+            if timing.tfaw:
+                key = (loc.channel, loc.rank)
+                history = self._act_history.setdefault(key, [])
+                if len(history) >= 4:
+                    t = max(t, history[-4] + timing.ns(timing.tfaw))
+                history.append(t)
+                del history[:-4]
+            t += timing.ns(timing.trcd)
+            bank.act_ns = t - timing.ns(timing.trcd)
+            bank.open_row = loc.row
+            data_ready = t + timing.ns(timing.cl)
+
+        burst_start = max(data_ready, self._bus_free_ns[loc.channel])
+        complete = burst_start + timing.ns(timing.burst_cycles)
+        self._bus_free_ns[loc.channel] = complete
+        bank.ready_ns = complete
+        if self.config.page_policy is PagePolicy.CLOSED:
+            # Auto-precharge: the next access always activates, but never
+            # pays the explicit precharge or waits out tRAS here (the
+            # precharge overlaps the idle gap; tRAS still bounds it).
+            bank.ready_ns = max(
+                complete, bank.act_ns + timing.ns(timing.tras + timing.trp)
+            )
+            bank.open_row = None
+
+        self.stats.busy_ns += complete - start
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        if row_hit:
+            self.stats.row_hits += 1
+        else:
+            self.stats.row_misses += 1
+        return AccessTiming(start, complete, row_hit)
+
+    # -- batched access (FR-FCFS inside a ready batch) ---------------------
+
+    def access_batch(
+        self, requests: Sequence[tuple[int, bool]], now_ns: float
+    ) -> list[AccessTiming]:
+        """Service simultaneously ready requests, row hits first.
+
+        ``requests`` is a sequence of ``(addr, is_write)``.  Results are
+        returned in the original request order.  This models the memory
+        controller's first-ready first-come-first-served queue at the
+        granularity the interval simulator needs: within one miss group,
+        requests to open rows are scheduled before row conflicts.
+        """
+        order = sorted(
+            range(len(requests)),
+            key=lambda i: (not self.would_row_hit(requests[i][0]), i),
+        )
+        results: list[Optional[AccessTiming]] = [None] * len(requests)
+        for i in order:
+            addr, is_write = requests[i]
+            results[i] = self.access(addr, is_write, now_ns)
+        return [r for r in results if r is not None]

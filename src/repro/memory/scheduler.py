@@ -1,0 +1,145 @@
+"""Memory-controller front end: request queues and scheduling policy.
+
+DRAMSim2 — the paper's memory model — couples a transaction queue to the
+bank state machine; this module provides that front end over
+:class:`~repro.memory.dram.DRAMSystem`: separate read and write queues,
+FR-FCFS or FCFS arbitration, read priority with watermark-based write
+draining (writes are buffered and drained in batches so they stay off the
+read critical path, as in the performance model's assumption that
+writebacks do not stall the core).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.memory.dram import AccessTiming, DRAMSystem
+
+__all__ = ["SchedulingPolicy", "MemRequest", "MemoryScheduler"]
+
+
+class SchedulingPolicy(enum.Enum):
+    FCFS = "fcfs"  # strictly oldest-first
+    FRFCFS = "fr-fcfs"  # first-ready (row hit) first, then oldest
+
+
+@dataclass
+class MemRequest:
+    """One 64-byte transaction."""
+
+    addr: int
+    is_write: bool
+    arrival_ns: float
+    timing: Optional[AccessTiming] = None
+
+    @property
+    def latency_ns(self) -> float:
+        if self.timing is None:
+            raise ValueError("request not yet serviced")
+        return self.timing.complete_ns - self.arrival_ns
+
+
+@dataclass
+class SchedulerStats:
+    serviced_reads: int = 0
+    serviced_writes: int = 0
+    drain_entries: int = 0  # times the write drain engaged
+    total_read_latency_ns: float = 0.0
+
+    @property
+    def mean_read_latency_ns(self) -> float:
+        if not self.serviced_reads:
+            return 0.0
+        return self.total_read_latency_ns / self.serviced_reads
+
+
+class MemoryScheduler:
+    """Services queued requests against the bank-timing model."""
+
+    def __init__(
+        self,
+        dram: DRAMSystem,
+        policy: SchedulingPolicy = SchedulingPolicy.FRFCFS,
+        write_queue_depth: int = 32,
+        drain_high: float = 0.75,
+        drain_low: float = 0.25,
+    ) -> None:
+        if not 0.0 <= drain_low < drain_high <= 1.0:
+            raise ValueError("need 0 <= drain_low < drain_high <= 1")
+        self.dram = dram
+        self.policy = policy
+        self.write_queue_depth = write_queue_depth
+        self._drain_high = max(1, int(drain_high * write_queue_depth))
+        self._drain_low = int(drain_low * write_queue_depth)
+        self._reads: list[MemRequest] = []
+        self._writes: list[MemRequest] = []
+        self._draining = False
+        self.stats = SchedulerStats()
+
+    # -- queueing ------------------------------------------------------------
+
+    def submit(self, request: MemRequest) -> None:
+        (self._writes if request.is_write else self._reads).append(request)
+
+    @property
+    def pending(self) -> int:
+        return len(self._reads) + len(self._writes)
+
+    # -- arbitration -----------------------------------------------------------
+
+    def _candidates(self, now_ns: float) -> list[MemRequest]:
+        """The queue the controller serves this cycle."""
+        if self._draining:
+            if len(self._writes) <= self._drain_low:
+                self._draining = False
+        elif len(self._writes) >= self._drain_high:
+            self._draining = True
+            self.stats.drain_entries += 1
+        if self._draining and self._writes:
+            return self._writes
+        if self._reads:
+            return self._reads
+        return self._writes
+
+    def _pick(self, queue: list[MemRequest], now_ns: float) -> MemRequest:
+        arrived = [r for r in queue if r.arrival_ns <= now_ns] or queue
+        if self.policy is SchedulingPolicy.FCFS:
+            return min(arrived, key=lambda r: r.arrival_ns)
+        return min(
+            arrived,
+            key=lambda r: (not self.dram.would_row_hit(r.addr), r.arrival_ns),
+        )
+
+    # -- service loop -----------------------------------------------------------
+
+    def service_one(self, now_ns: float) -> Optional[MemRequest]:
+        """Issue the next request per policy; returns it with timing set."""
+        queue = self._candidates(now_ns)
+        if not queue:
+            return None
+        request = self._pick(queue, now_ns)
+        queue.remove(request)
+        start = max(now_ns, request.arrival_ns)
+        request.timing = self.dram.access(request.addr, request.is_write, start)
+        if request.is_write:
+            self.stats.serviced_writes += 1
+        else:
+            self.stats.serviced_reads += 1
+            self.stats.total_read_latency_ns += request.latency_ns
+        return request
+
+    def run_until_empty(self, start_ns: float = 0.0) -> list[MemRequest]:
+        """Drain all queues, advancing time with each service."""
+        serviced = []
+        now = start_ns
+        while self.pending:
+            request = self.service_one(now)
+            if request is None:
+                break
+            serviced.append(request)
+            # The next arbitration happens when this command started; the
+            # bank model already pipelines overlapping work internally.
+            now = max(now, request.timing.start_ns)
+        return serviced

@@ -1,0 +1,102 @@
+"""The paper's stated quantitative claims, in one place.
+
+Only numbers the text states explicitly are recorded (per-benchmark bar
+heights would have to be read off the figures, so they are *not*
+encoded); the experiment notes and the headline regression tests compare
+against these.  Each entry carries the section it comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Claim", "CLAIMS", "claim"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One quantitative statement from the paper."""
+
+    key: str
+    value: float
+    where: str
+    statement: str
+
+
+_ALL = [
+    Claim(
+        "combined_compressibility_avg", 0.94, "Sec. 4 / Fig. 9",
+        "the combined approach is able to compress 94% of blocks on average",
+    ),
+    Claim(
+        "msb_compressibility_avg", 0.70, "Sec. 4 / Fig. 9",
+        "MSB compression is able to compress approximately 70% of blocks "
+        "on average",
+    ),
+    Claim(
+        "msb_shift_gain", 0.15, "Sec. 3.2.1 / Fig. 4",
+        "by shifting the MSB comparison by 1 bit, compressibility improves "
+        "by 15% for these applications",
+    ),
+    Claim(
+        "ser_reduction_cop4_avg", 0.93, "Abstract / Fig. 10",
+        "COP can reduce the DRAM soft error rate by 93% ... with the 4-byte "
+        "version",
+    ),
+    Claim(
+        "ser_reduction_coper", 1.00, "Sec. 4 / Fig. 10",
+        "the error rate reduction provided by COP-ER is nearly 100% in all "
+        "cases",
+    ),
+    Claim(
+        "coper_vs_ecc_dimm_ratio", 6.0, "Sec. 4",
+        "results show that COP-ER's error rate is 6x that of an ECC DIMM "
+        "approach",
+    ),
+    Claim(
+        "coper_perf_vs_baseline", 0.08, "Sec. 4 / Fig. 11",
+        "COP-ER performs about 8% better than the ECC region baseline",
+    ),
+    Claim(
+        "ecc_storage_reduction_avg", 0.80, "Abstract / Fig. 12",
+        "COP-ER can reduce the space requirements by 80% on average",
+    ),
+    Claim(
+        "valid_word_probability", 0.0039, "Sec. 3.1",
+        "given a random 128-bit value, there is a 0.39% chance that it "
+        "will be a valid code word",
+    ),
+    Claim(
+        "block_alias_probability", 2e-7, "Sec. 3.1",
+        "there is a 0.00002% chance of the block containing 3 or more "
+        "valid code words",
+    ),
+    Claim(
+        "ecc_dimm_device_overhead", 0.125, "Sec. 1",
+        "an ECC-enabled DIMM uses 9 chips, incurring a 12.5% hardware "
+        "overhead",
+    ),
+    Claim(
+        "table3_one_codeword_fraction", 0.014, "Table 3",
+        "1.4% of incompressible blocks contain one valid code word",
+    ),
+    Claim(
+        "decompress_latency_cycles", 4.0, "Sec. 4",
+        "we assumed an additional decode/decompress latency of 4 cycles",
+    ),
+    Claim(
+        "raw_fit_per_mbit", 5000.0, "Sec. 4",
+        "we based our evaluation on a raw soft error rate of 5000 FIT/Mbit",
+    ),
+]
+
+#: Claims indexed by key.
+CLAIMS: dict[str, Claim] = {c.key: c for c in _ALL}
+
+
+def claim(key: str) -> Claim:
+    """Look up a claim; raises KeyError with the known keys on a typo."""
+    try:
+        return CLAIMS[key]
+    except KeyError:
+        raise KeyError(f"unknown claim {key!r}; known: {sorted(CLAIMS)}") from None

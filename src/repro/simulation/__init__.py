@@ -1,0 +1,23 @@
+"""Interval performance simulation (the paper's Section 4 methodology).
+
+Execution is divided into intervals between long-latency (L3 miss) events;
+within an interval the misses overlap, between intervals the core runs at
+its perfect-L3 IPC.  :class:`~repro.simulation.system.MultiCoreSystem`
+replays per-core epoch traces against a shared LLC, a protection-mode
+memory controller and the DDR3 timing model, producing the normalized-IPC
+comparison of Fig. 11 and (via an attached
+:class:`~repro.reliability.parma.VulnerabilityTracker`) the residency data
+behind Fig. 10.
+"""
+
+from repro.simulation.config import SCALED_SYSTEM, TABLE1_SYSTEM, SystemConfig
+from repro.simulation.system import CoreResult, MultiCoreSystem, PerfResult
+
+__all__ = [
+    "SystemConfig",
+    "TABLE1_SYSTEM",
+    "SCALED_SYSTEM",
+    "MultiCoreSystem",
+    "PerfResult",
+    "CoreResult",
+]

@@ -1,0 +1,295 @@
+"""The multi-core interval simulator.
+
+Each core replays its epoch trace: run ``instructions`` at the perfect-L3
+IPC, then issue the epoch's miss group.  Misses first probe the shared LLC;
+real misses go through the protection-mode controller, which may demand
+extra ECC-region block accesses (COP-ER, ECC-Region baseline).  ECC blocks
+are themselves cached in the LLC, competing with data — exactly the
+paper's setup ("ECC metadata is cached in the L3").  Within a group,
+DRAM requests are overlappable: the epoch's stall is the *maximum* request
+completion, not the sum (interval simulation's core assumption).
+
+Dirty evictions write back through the controller at the current time;
+writebacks are buffered (they occupy DRAM banks but do not stall the
+core).  A rejected writeback — an incompressible alias under plain COP —
+re-pins the line in the LLC with its alias bit set.
+
+Store semantics: a store to a block advances its content *version*; the
+new bytes come from the benchmark's :class:`BlockSource`, so data written
+back to memory keeps the benchmark's compressibility statistics fresh.
+
+Cores are interleaved by simulated time (the core furthest behind runs
+next), which serialises DRAM contention realistically without an event
+queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from repro.cache.cache import SetAssocCache
+from repro.core.controller import ProtectedMemory
+from repro.reliability.parma import VulnerabilityTracker
+from repro.simulation.config import SystemConfig
+from repro.workloads.blocks import BlockSource
+from repro.workloads.tracegen import Epoch
+
+__all__ = ["CoreResult", "PerfResult", "MultiCoreSystem"]
+
+
+@dataclass
+class CoreResult:
+    instructions: int = 0
+    compute_ns: float = 0.0
+    stall_ns: float = 0.0
+    epochs: int = 0
+
+    @property
+    def total_ns(self) -> float:
+        return self.compute_ns + self.stall_ns
+
+
+@dataclass(frozen=True)
+class PerfResult:
+    """Outcome of one simulation run."""
+
+    cores: tuple[CoreResult, ...]
+    cpu_ghz: float
+    llc_hits: int
+    llc_misses: int
+    dram_reads: int
+    dram_writes: int
+    row_hit_rate: float
+
+    @property
+    def instructions(self) -> int:
+        return sum(core.instructions for core in self.cores)
+
+    @property
+    def total_cycles(self) -> float:
+        """Cycles until the last core finishes (the run's makespan)."""
+        return max(core.total_ns for core in self.cores) * self.cpu_ghz
+
+    @property
+    def ipc(self) -> float:
+        """System IPC: total instructions over the makespan."""
+        return self.instructions / self.total_cycles if self.total_cycles else 0.0
+
+    @property
+    def core_ipcs(self) -> tuple[float, ...]:
+        return tuple(
+            core.instructions / (core.total_ns * self.cpu_ghz)
+            if core.total_ns
+            else 0.0
+            for core in self.cores
+        )
+
+
+class _CoreState:
+    __slots__ = ("epochs", "time_ns", "perfect_ipc", "result", "done")
+
+    def __init__(self, epochs: Iterator[Epoch], perfect_ipc: float) -> None:
+        self.epochs = epochs
+        self.time_ns = 0.0
+        self.perfect_ipc = perfect_ipc
+        self.result = CoreResult()
+        self.done = False
+
+
+class MultiCoreSystem:
+    """Replays per-core traces against one shared LLC + protected memory."""
+
+    def __init__(
+        self,
+        memory: ProtectedMemory,
+        traces: Sequence[Iterator[Epoch]],
+        sources: Sequence[BlockSource],
+        perfect_ipcs: Sequence[float],
+        config: SystemConfig,
+        tracker: Optional[VulnerabilityTracker] = None,
+    ) -> None:
+        if not len(traces) == len(sources) == len(perfect_ipcs):
+            raise ValueError("traces, sources and perfect_ipcs must align")
+        self.memory = memory
+        self.config = config
+        self.tracker = tracker
+        self.llc = SetAssocCache(config.llc_bytes, config.llc_ways, name="L3")
+        from repro.memory.dram import DRAMSystem  # local to avoid cycle
+
+        self.dram = DRAMSystem(config.dram)
+        self._cores = [
+            _CoreState(trace, ipc) for trace, ipc in zip(traces, perfect_ipcs)
+        ]
+        self._sources = list(sources)
+        self._versions: dict[int, int] = {}
+
+    # -- content management -----------------------------------------------
+
+    def _content(self, core_index: int, addr: int) -> bytes:
+        version = self._versions.get(addr, 0)
+        return self._sources[core_index].block(addr, version)
+
+    def _populate(self, core_index: int, addr: int, now_ns: float) -> None:
+        """First touch: materialise the block in DRAM."""
+        version = self._versions.setdefault(addr, 0)
+        data = self._sources[core_index].block(addr, version)
+        result = self.memory.write(addr, data)
+        while not result.accepted:
+            # The freshly generated block is an incompressible alias (odds
+            # ~2e-7): nudge the version until a storable image appears.
+            version += 1
+            self._versions[addr] = version
+            data = self._sources[core_index].block(addr, version)
+            result = self.memory.write(addr, data)
+        if self.tracker is not None:
+            # The data existed in DRAM since program start: stamp t=0 so
+            # its residency before this first read counts as vulnerable.
+            self.tracker.on_write(addr, 0.0, self._protected(result))
+        # Population is warm-up traffic; it does not occupy the DRAM model.
+
+    def _protected(self, write_result) -> bool:
+        from repro.core.controller import ProtectionMode
+
+        mode = self.memory.mode
+        if mode is ProtectionMode.UNPROTECTED:
+            return False
+        if mode is ProtectionMode.COP:
+            return write_result.compressed
+        return True  # COP-ER / ECC-Region / ECC-DIMM protect everything
+
+    # -- writeback path ------------------------------------------------------
+
+    def _writeback(self, core_index: int, victim, now_ns: float) -> None:
+        """Handle a dirty (or alias-pinned) eviction from the LLC."""
+        result = self.memory.write(victim.addr, victim.data)
+        if not result.accepted:
+            # Incompressible alias: it must stay cached, pinned.
+            self.llc.insert(
+                victim.addr, victim.data, dirty=True, alias=True
+            )
+            return
+        if self.tracker is not None:
+            self.tracker.on_write(victim.addr, now_ns, self._protected(result))
+        self.dram.access(victim.addr, True, now_ns)
+        for ecc_addr in result.ecc_writes:
+            line = self.llc.peek(ecc_addr)
+            if line is not None:
+                line.dirty = True
+            else:
+                self.dram.access(ecc_addr, True, now_ns)
+
+    def _handle_eviction(self, core_index: int, eviction, now_ns: float) -> None:
+        if eviction is None:
+            return
+        victim = eviction.line
+        if self.memory.is_metadata_addr(victim.addr):
+            # Dirty ECC metadata block: plain DRAM write, no re-encode.
+            if victim.dirty:
+                self.dram.access(victim.addr, True, now_ns)
+            return
+        if victim.dirty or victim.alias:
+            self._writeback(core_index, victim, now_ns)
+
+    # -- miss path ---------------------------------------------------------------
+
+    def _miss(
+        self, core_index: int, addr: int, is_store: bool, now_ns: float
+    ) -> float:
+        """Service one LLC miss; returns the time its data is usable."""
+        if addr not in self.memory.contents:
+            self._populate(core_index, addr, now_ns)
+        read = self.memory.read(addr)
+        if self.tracker is not None:
+            self.tracker.on_read(addr, now_ns)
+
+        data_timing = self.dram.access(addr, False, now_ns)
+        usable_ns = data_timing.complete_ns
+
+        for ecc_addr in read.ecc_reads:
+            if self.llc.lookup(ecc_addr) is None:
+                ecc_timing = self.dram.access(ecc_addr, False, now_ns)
+                usable_ns = max(usable_ns, ecc_timing.complete_ns)
+                eviction = self.llc.insert(ecc_addr, bytes(64))
+                self._handle_eviction(core_index, eviction, now_ns)
+
+        usable_ns += read.decompress_cycles * self.config.cycle_ns
+
+        data = read.data
+        if is_store:
+            # The store rewrites the line: advance the content version.
+            self._versions[addr] = self._versions.get(addr, 0) + 1
+            data = self._content(core_index, addr)
+        eviction = self.llc.insert(
+            addr,
+            data,
+            dirty=is_store,
+            was_uncompressed=read.was_uncompressed,
+        )
+        self._handle_eviction(core_index, eviction, now_ns)
+        return usable_ns
+
+    # -- main loop -----------------------------------------------------------------
+
+    def _run_epoch(self, core_index: int, epoch: Epoch) -> None:
+        core = self._cores[core_index]
+        compute_ns = (
+            epoch.instructions / core.perfect_ipc
+        ) * self.config.cycle_ns
+        now_ns = core.time_ns + compute_ns
+
+        stall_until = now_ns
+        issue_at = now_ns
+        outstanding = 0
+        for access in epoch.accesses:
+            line = self.llc.lookup(access.addr)
+            if line is not None:
+                if access.is_store:
+                    self._versions[access.addr] = (
+                        self._versions.get(access.addr, 0) + 1
+                    )
+                    line.data = self._content(core_index, access.addr)
+                    line.dirty = True
+                continue
+            # MSHR limit: once a full wave of misses is outstanding, the
+            # next wave issues when the current one has drained.
+            if self.config.mshrs and outstanding >= self.config.mshrs:
+                issue_at = stall_until
+                outstanding = 0
+            usable = self._miss(
+                core_index, access.addr, access.is_store, issue_at
+            )
+            outstanding += 1
+            stall_until = max(stall_until, usable)
+
+        core.time_ns = stall_until
+        core.result.instructions += epoch.instructions
+        core.result.compute_ns += compute_ns
+        core.result.stall_ns += stall_until - now_ns
+        core.result.epochs += 1
+
+    def run(self) -> PerfResult:
+        """Replay all traces to completion; cores interleave by time."""
+        import heapq
+
+        heap = [(0.0, i) for i in range(len(self._cores))]
+        heapq.heapify(heap)
+        while heap:
+            _, index = heapq.heappop(heap)
+            core = self._cores[index]
+            epoch = next(core.epochs, None)
+            if epoch is None:
+                core.done = True
+                continue
+            self._run_epoch(index, epoch)
+            heapq.heappush(heap, (core.time_ns, index))
+
+        return PerfResult(
+            cores=tuple(core.result for core in self._cores),
+            cpu_ghz=self.config.cpu_ghz,
+            llc_hits=self.llc.stats.hits,
+            llc_misses=self.llc.stats.misses,
+            dram_reads=self.dram.stats.reads,
+            dram_writes=self.dram.stats.writes,
+            row_hit_rate=self.dram.stats.row_hit_rate,
+        )

@@ -1,0 +1,45 @@
+"""Workload substrate: synthetic stand-ins for SPEC2006 / PARSEC traces.
+
+The paper drives every result from Pin-captured L3-miss traces carrying the
+data contents of each referenced block.  Offline we reproduce the two
+properties those traces contribute:
+
+* **content statistics** — per-benchmark mixtures of the data archetypes
+  that determine compressibility under each scheme (small integers,
+  pointers with shared high bits, clustered floating point, ASCII/UTF-16
+  text, sparse arrays, incompressible bytes);
+* **access statistics** — L3 miss rate, memory-level parallelism, write
+  fraction, footprint and spatial locality, which determine the
+  performance and vulnerability results.
+
+Profiles are calibrated so the compressibility figures (Figs. 1, 4, 8, 9)
+land near the paper's per-benchmark values; all downstream experiments
+then exercise the real code paths with faithful input statistics.
+"""
+
+from repro.workloads.blocks import BlockSource
+from repro.workloads.generators import COMPONENTS, generate_block
+from repro.workloads.profiles import (
+    FIG1_BENCHMARKS,
+    FIG4_BENCHMARKS,
+    MEMORY_INTENSIVE,
+    PROFILES,
+    BenchmarkProfile,
+    profiles_in_suite,
+)
+from repro.workloads.tracegen import Access, Epoch, TraceGenerator
+
+__all__ = [
+    "COMPONENTS",
+    "generate_block",
+    "BenchmarkProfile",
+    "PROFILES",
+    "MEMORY_INTENSIVE",
+    "FIG1_BENCHMARKS",
+    "FIG4_BENCHMARKS",
+    "profiles_in_suite",
+    "BlockSource",
+    "Access",
+    "Epoch",
+    "TraceGenerator",
+]

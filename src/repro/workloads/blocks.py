@@ -1,0 +1,55 @@
+"""Deterministic block contents keyed by (address, version).
+
+Real programs keep data of one kind together (arrays, heaps, string pools),
+so the archetype is chosen per *page* (4 KB) by a seeded hash of the page
+number — all blocks of a page share an archetype, giving the spatial
+compressibility correlation the paper's traces exhibit.  The block bytes
+themselves are a deterministic function of (seed, address, version), where
+the version counter advances every time the simulated program overwrites
+the block, so re-reads return exactly what was written without storing
+anything.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.generators import COMPONENTS, generate_block
+from repro.workloads.profiles import BenchmarkProfile
+
+__all__ = ["BlockSource"]
+
+_PAGE_BYTES = 4096
+
+
+class BlockSource:
+    """Content oracle for one benchmark profile."""
+
+    def __init__(self, profile: BenchmarkProfile, seed: int = 0) -> None:
+        self.profile = profile
+        self.seed = seed
+        weights = profile.weights()
+        unknown = set(weights) - set(COMPONENTS)
+        if unknown:
+            raise KeyError(f"profile {profile.name} uses unknown components: {unknown}")
+        self._names = list(weights)
+        self._cumulative: list[float] = []
+        total = 0.0
+        for name in self._names:
+            total += weights[name]
+            self._cumulative.append(total)
+
+    def component_of(self, addr: int) -> str:
+        """The archetype assigned to the page containing ``addr``."""
+        page = addr // _PAGE_BYTES
+        u = random.Random(f"{self.seed}|page|{page}").random()
+        for name, edge in zip(self._names, self._cumulative):
+            if u <= edge:
+                return name
+        return self._names[-1]
+
+    def block(self, addr: int, version: int = 0) -> bytes:
+        """The 64 bytes stored at ``addr`` after ``version`` overwrites."""
+        component = self.component_of(addr)
+        rng = random.Random(f"{self.seed}|block|{addr}|{version}")
+        return generate_block(component, rng)

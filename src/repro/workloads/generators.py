@@ -1,0 +1,225 @@
+"""Block-content archetypes.
+
+Each component is a deterministic function ``rng -> 64 bytes`` modelling a
+data pattern that real applications exhibit and that interacts differently
+with COP's compression schemes:
+
+=================== =========================================== ==============
+component           models                                      compressed by
+=================== =========================================== ==============
+zeros               untouched / zero-initialised pages          everything
+small_int32         counters, indices, enum arrays (int32)      RLE, FPC
+small_int64         64-bit counters and sizes                   RLE, FPC
+pointer64           heap pointers sharing high address bits     MSB
+float64_pos         same-sign doubles of similar magnitude      MSB (both)
+float64_mixed       mixed-sign doubles of similar magnitude     MSB (shifted)
+float32_pair        clustered single-precision pairs            MSB (shifted)
+ascii_text          log/markup/source text                      TXT
+utf16_text          UTF-16 text of ASCII characters             TXT, RLE
+sparse64            mostly-zero arrays with a few live words    RLE, FPC
+barely_rle          records with two 3-byte zero gaps — the     RLE (exactly)
+                    minimum redundancy COP can exploit
+record_struct       mixed struct: pointer + int + payload       RLE (usually)
+random_bytes        encrypted/compressed/high-entropy data      nothing
+=================== =========================================== ==============
+
+``barely_rle`` is what makes libquantum-like behaviour possible: blocks
+that a 50 %-target algorithm calls incompressible but that COP, needing
+only 6.25 %, protects (Fig. 1's motivation).
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from typing import Callable
+
+from repro.compression.base import BLOCK_BYTES
+
+__all__ = ["COMPONENTS", "generate_block"]
+
+
+def _zeros(rng: random.Random) -> bytes:
+    return bytes(BLOCK_BYTES)
+
+
+def _small_int32(rng: random.Random) -> bytes:
+    """Small 32-bit values (counters, indices — usually non-negative)."""
+    signed = rng.random() < 0.3
+    out = bytearray()
+    for _ in range(BLOCK_BYTES // 4):
+        magnitude = rng.choice((4, 8, 12, 16))
+        value = rng.getrandbits(magnitude)
+        if signed:
+            value -= 1 << (magnitude - 1)
+        out += struct.pack("<i", value)
+    return bytes(out)
+
+
+def _small_int64(rng: random.Random) -> bytes:
+    """Small 64-bit values (sizes, counts — usually non-negative)."""
+    signed = rng.random() < 0.3
+    out = bytearray()
+    for _ in range(BLOCK_BYTES // 8):
+        magnitude = rng.choice((8, 16, 24, 32))
+        value = rng.getrandbits(magnitude)
+        if signed:
+            value -= 1 << (magnitude - 1)
+        out += struct.pack("<q", value)
+    return bytes(out)
+
+
+def _pointer64(rng: random.Random) -> bytes:
+    """Eight pointers into one 16 MB heap region (top 40 bits shared)."""
+    base = (rng.getrandbits(24) << 24) | (0x7F << 40)
+    out = bytearray()
+    for _ in range(BLOCK_BYTES // 8):
+        out += struct.pack("<Q", base + rng.getrandbits(24))
+    return bytes(out)
+
+
+def _float64(rng: random.Random, mixed_signs: bool) -> bytes:
+    """Doubles of similar magnitude (shared top exponent bits).
+
+    Physical-simulation arrays hold values whose exponents sit within a
+    narrow band.  The 5 bits MSB compression compares are the *top* bits
+    of the IEEE-754 exponent, which are identical as long as exponents
+    stay within one 64-binade band; a per-block magnitude around 2**-8
+    with +-2 binades of per-element spread stays safely inside it.
+    """
+    block_exp = rng.randrange(-24, -4)  # binade band well inside [2^-63, 1)
+    out = bytearray()
+    for _ in range(BLOCK_BYTES // 8):
+        value = rng.uniform(1.0, 2.0) * 2.0 ** (block_exp + rng.randrange(3))
+        if mixed_signs and rng.random() < 0.5:
+            value = -value
+        out += struct.pack("<d", value)
+    return bytes(out)
+
+
+def _float64_pos(rng: random.Random) -> bytes:
+    return _float64(rng, mixed_signs=False)
+
+
+def _float64_mixed(rng: random.Random) -> bytes:
+    return _float64(rng, mixed_signs=True)
+
+
+def _float32_pair(rng: random.Random) -> bytes:
+    """Clustered single-precision values, mixed signs.
+
+    MSB compression uses an 8-byte stride, so only the upper float of each
+    pair enters the comparison — the case Section 3.2.1 notes still works.
+    """
+    block_exp = rng.randrange(-6, 0)  # narrow binade band (see _float64)
+    mixed = rng.random() < 0.4  # magnitudes (distances, norms) skew positive
+    out = bytearray()
+    for _ in range(BLOCK_BYTES // 4):
+        value = rng.uniform(1.0, 2.0) * 2.0 ** (block_exp + rng.randrange(2))
+        if mixed and rng.random() < 0.5:
+            value = -value
+        out += struct.pack("<f", value)
+    return bytes(out)
+
+
+_TEXT_ALPHABET = (
+    b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+    b" \t\n<>/=().,;:'\"-_"
+)
+
+
+def _ascii_text(rng: random.Random) -> bytes:
+    return bytes(rng.choice(_TEXT_ALPHABET) for _ in range(BLOCK_BYTES))
+
+
+def _utf16_text(rng: random.Random) -> bytes:
+    chars = bytes(rng.choice(_TEXT_ALPHABET) for _ in range(BLOCK_BYTES // 2))
+    return b"".join(bytes((c, 0)) for c in chars)
+
+
+def _sparse64(rng: random.Random) -> bytes:
+    """A few live 64-bit words in a zero block."""
+    out = bytearray(BLOCK_BYTES)
+    for _ in range(rng.randrange(1, 4)):
+        slot = rng.randrange(BLOCK_BYTES // 8) * 8
+        out[slot : slot + 8] = rng.randbytes(8)
+    return bytes(out)
+
+
+def _barely_rle(rng: random.Random) -> bytes:
+    """High-entropy records with exactly two 3-byte zero gaps.
+
+    Two 3-byte runs free ``2 * 17 = 34`` bits — the precise minimum the
+    4-byte COP target needs.  Algorithms chasing 50 % ratios see these
+    blocks as incompressible.
+    """
+    out = bytearray(rng.randbytes(BLOCK_BYTES))
+    first = rng.randrange(0, 14) * 2
+    second = rng.randrange(first // 2 + 2, 30) * 2
+    for start in (first, second):
+        out[start : start + 3] = b"\x00\x00\x00"
+    return bytes(out)
+
+
+def _libquantum_state(rng: random.Random) -> bytes:
+    """Quantum-register records: u64 basis state + f32 amplitude + u32 pad.
+
+    Four 16-byte records per block leave four zero 32-bit words — about a
+    10-15 % FPC ratio (the Fig. 1 libquantum curve: poorly compressible
+    overall, yet most blocks yield a small amount) and exactly the zero
+    runs COP's RLE needs.
+    """
+    out = bytearray()
+    for _ in range(BLOCK_BYTES // 16):
+        out += rng.randbytes(8)  # basis state: high entropy
+        out += struct.pack("<f", rng.uniform(-1.0, 1.0))  # amplitude
+        out += b"\x00\x00\x00\x00"  # padding word
+    return bytes(out)
+
+
+def _record_struct(rng: random.Random) -> bytes:
+    """16-byte records: pointer + small int + random payload."""
+    base = (rng.getrandbits(20) << 28) | (0x55 << 40)
+    out = bytearray()
+    for _ in range(BLOCK_BYTES // 16):
+        out += struct.pack("<Q", base + rng.getrandbits(20))
+        out += struct.pack("<i", rng.getrandbits(10))
+        out += rng.randbytes(4)
+    return bytes(out)
+
+
+def _random_bytes(rng: random.Random) -> bytes:
+    return rng.randbytes(BLOCK_BYTES)
+
+
+#: Registry of content archetypes by name.
+COMPONENTS: dict[str, Callable[[random.Random], bytes]] = {
+    "zeros": _zeros,
+    "small_int32": _small_int32,
+    "small_int64": _small_int64,
+    "pointer64": _pointer64,
+    "float64_pos": _float64_pos,
+    "float64_mixed": _float64_mixed,
+    "float32_pair": _float32_pair,
+    "ascii_text": _ascii_text,
+    "utf16_text": _utf16_text,
+    "sparse64": _sparse64,
+    "barely_rle": _barely_rle,
+    "libquantum_state": _libquantum_state,
+    "record_struct": _record_struct,
+    "random_bytes": _random_bytes,
+}
+
+
+def generate_block(component: str, rng: random.Random) -> bytes:
+    """Generate one 64-byte block of the named archetype."""
+    try:
+        generator = COMPONENTS[component]
+    except KeyError:
+        raise KeyError(
+            f"unknown component {component!r}; known: {sorted(COMPONENTS)}"
+        ) from None
+    block = generator(rng)
+    if len(block) != BLOCK_BYTES:
+        raise AssertionError(f"component {component} produced {len(block)} bytes")
+    return block

@@ -1,0 +1,100 @@
+"""Synthetic L3-miss traces with interval structure.
+
+The paper's methodology divides execution into intervals between
+long-latency miss events; references within an epoch are independent and
+overlappable.  The generator emits exactly that shape: each epoch carries
+an instruction count (derived from the profile's MPKI) and a group of
+miss addresses whose size follows the profile's memory-level parallelism.
+Addresses follow a run-based spatial model: with probability ``locality``
+the next miss continues the current sequential run (row-buffer-friendly),
+otherwise it jumps to a random block of the footprint.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.compression.base import BLOCK_BYTES
+from repro.workloads.profiles import BenchmarkProfile
+
+__all__ = ["Access", "Epoch", "TraceGenerator"]
+
+
+@dataclass(frozen=True)
+class Access:
+    """One L3 miss.  ``is_store`` marks the line dirty once resident."""
+
+    addr: int
+    is_store: bool
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """An interval: instructions executed, then one overlappable miss group."""
+
+    instructions: int
+    accesses: tuple[Access, ...]
+
+
+class TraceGenerator:
+    """Seeded generator of epochs for one core running one benchmark."""
+
+    def __init__(
+        self,
+        profile: BenchmarkProfile,
+        seed: int = 0,
+        footprint_blocks: int | None = None,
+        base_addr: int = 0,
+    ) -> None:
+        self.profile = profile
+        self.seed = seed
+        self.base_addr = base_addr
+        if footprint_blocks is None:
+            footprint_blocks = profile.footprint_mb * (1 << 20) // BLOCK_BYTES
+        self.footprint_blocks = footprint_blocks
+        if self.footprint_blocks < 1:
+            raise ValueError("footprint must hold at least one block")
+        # String seeds hash deterministically across processes (unlike
+        # tuple hashing, which random.Random rejects anyway).
+        self._rng = random.Random(f"{seed}|trace|{profile.name}")
+        self._cursor = 0  # current sequential-run position (block index)
+
+    def _next_block(self) -> int:
+        if self._rng.random() < self.profile.locality:
+            self._cursor = (self._cursor + 1) % self.footprint_blocks
+        else:
+            self._cursor = self._rng.randrange(self.footprint_blocks)
+        return self._cursor
+
+    def _group_size(self) -> int:
+        """Geometric group size with mean ``mlp`` (at least one miss)."""
+        mean = max(self.profile.mlp, 1.0)
+        p = 1.0 / mean
+        size = 1
+        while self._rng.random() > p:
+            size += 1
+            if size >= 8 * mean:  # tail clamp keeps epochs bounded
+                break
+        return size
+
+    def epochs(self, count: int) -> Iterator[Epoch]:
+        """Yield ``count`` epochs."""
+        per_miss_instr = 1000.0 / max(self.profile.mpki, 1e-3)
+        for _ in range(count):
+            size = self._group_size()
+            accesses = tuple(
+                Access(
+                    self.base_addr + self._next_block() * BLOCK_BYTES,
+                    self._rng.random() < self.profile.write_fraction,
+                )
+                for _ in range(size)
+            )
+            instructions = max(1, round(per_miss_instr * size))
+            yield Epoch(instructions, accesses)
+
+    def sample_blocks(self, count: int, source_seed: int = 0) -> Iterator[int]:
+        """Addresses only — used by the compressibility experiments."""
+        for _ in range(count):
+            yield self.base_addr + self._next_block() * BLOCK_BYTES

@@ -1,0 +1,29 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.codec import COPCodec
+from repro.core.config import COPConfig
+
+# ---------------------------------------------------------------------------
+# fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random("repro-tests")
+
+
+@pytest.fixture(scope="session")
+def codec4() -> COPCodec:
+    return COPCodec(COPConfig.four_byte())
+
+
+@pytest.fixture(scope="session")
+def codec8() -> COPCodec:
+    return COPCodec(COPConfig.eight_byte())

@@ -1,0 +1,98 @@
+"""Shared hypothesis strategies for 64-byte block content."""
+
+from __future__ import annotations
+
+import struct
+
+from hypothesis import strategies as st
+
+
+#: Arbitrary 64-byte blocks: the adversarial case for every code path.
+raw_blocks = st.binary(min_size=64, max_size=64)
+
+
+@st.composite
+def small_int_blocks(draw) -> bytes:
+    """Blocks of sixteen small signed int32 values."""
+    values = draw(
+        st.lists(
+            st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1),
+            min_size=16,
+            max_size=16,
+        )
+    )
+    return struct.pack("<16i", *values)
+
+
+@st.composite
+def text_blocks(draw) -> bytes:
+    """All-ASCII blocks (every byte < 0x80)."""
+    return bytes(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=0x7F),
+                min_size=64,
+                max_size=64,
+            )
+        )
+    )
+
+
+@st.composite
+def msb_blocks(draw) -> bytes:
+    """Eight 64-bit words sharing bits 62..58 (shifted-MSB compressible)."""
+    shared = draw(st.integers(min_value=0, max_value=31))
+    words = []
+    for _ in range(8):
+        low = draw(st.integers(min_value=0, max_value=(1 << 58) - 1))
+        sign = draw(st.integers(min_value=0, max_value=1))
+        words.append(low | (shared << 58) | (sign << 63))
+    return b"".join(w.to_bytes(8, "little") for w in words)
+
+
+@st.composite
+def rle_blocks(draw) -> bytes:
+    """Random blocks with two injected 3-byte runs at even offsets."""
+    base = bytearray(draw(raw_blocks))
+    first = draw(st.integers(min_value=0, max_value=13)) * 2
+    second = draw(st.integers(min_value=first // 2 + 2, max_value=30)) * 2
+    fill = draw(st.sampled_from([0x00, 0xFF]))
+    for start in (first, second):
+        base[start : start + 3] = bytes([fill]) * 3
+    return bytes(base)
+
+
+@st.composite
+def float64_blocks(draw) -> bytes:
+    """Eight doubles sharing a binade band, mixed signs (the Fig. 4 case)."""
+    exponent = draw(st.integers(min_value=-24, max_value=-5))
+    values = []
+    for _ in range(8):
+        mantissa = draw(st.floats(min_value=1.0, max_value=2.0,
+                                  exclude_max=True, allow_nan=False))
+        sign = -1.0 if draw(st.booleans()) else 1.0
+        values.append(sign * mantissa * 2.0**exponent)
+    return struct.pack("<8d", *values)
+
+
+@st.composite
+def sparse_blocks(draw) -> bytes:
+    """Mostly-zero blocks with a few live 8-byte words."""
+    out = bytearray(64)
+    live = draw(st.lists(st.integers(min_value=0, max_value=7),
+                         min_size=1, max_size=3, unique=True))
+    for slot in live:
+        out[slot * 8 : slot * 8 + 8] = draw(st.binary(min_size=8, max_size=8))
+    return bytes(out)
+
+
+#: Blocks drawn from every structured family plus pure noise.
+any_blocks = st.one_of(
+    raw_blocks,
+    small_int_blocks(),
+    text_blocks(),
+    msb_blocks(),
+    rle_blocks(),
+    float64_blocks(),
+    sparse_blocks(),
+)

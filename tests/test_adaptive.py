@@ -1,0 +1,121 @@
+"""Tests for the adaptive-strength COP extension."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from strategies import any_blocks
+from repro.core.adaptive import AdaptiveCodec
+from repro.core.codec import BlockKind
+
+
+@pytest.fixture(scope="module")
+def adaptive():
+    return AdaptiveCodec()
+
+
+def strong_block():
+    """Highly compressible: zeros (fits the 448-bit strong tier)."""
+    return bytes(64)
+
+
+def standard_block(rng):
+    """Compressible to <= 480 bits but not 448: two exact 3-byte runs."""
+    block = bytearray(rng.randbytes(64))
+    first = rng.randrange(0, 10) * 2
+    second = first + 4 + rng.randrange(0, 8) * 2
+    for start in (first, second):
+        block[start : start + 3] = b"\x00\x00\x00"
+    return bytes(block)
+
+
+class TestTierSelection:
+    def test_zeros_take_the_strong_tier(self, adaptive):
+        encoded, strength = adaptive.encode(strong_block())
+        assert strength == "strong" and encoded.compressed
+
+    def test_barely_compressible_takes_standard(self, adaptive, rng):
+        found = False
+        for _ in range(20):
+            block = standard_block(rng)
+            _, strength = adaptive.encode(block)
+            if strength == "standard":
+                found = True
+                break
+        assert found, "RLE-exact blocks should land in the standard tier"
+
+    def test_noise_stays_raw(self, adaptive, rng):
+        encoded, strength = adaptive.encode(rng.randbytes(64))
+        assert strength == "raw" and not encoded.compressed
+
+    def test_strength_of_matches_encode(self, adaptive, rng):
+        for block in (strong_block(), standard_block(rng), rng.randbytes(64)):
+            assert adaptive.strength_of(block) == adaptive.encode(block)[1]
+
+
+class TestDecoding:
+    def test_tiers_roundtrip(self, adaptive, rng):
+        for block in (strong_block(), standard_block(rng), rng.randbytes(64)):
+            encoded, strength = adaptive.encode(block)
+            decoded = adaptive.decode(encoded.stored)
+            assert decoded.strength == strength
+            assert decoded.result.data == block
+
+    def test_no_cross_reading(self, adaptive, rng):
+        """A standard-tier image must not satisfy the strong check."""
+        for _ in range(30):
+            encoded, strength = adaptive.encode(standard_block(rng))
+            if strength != "standard":
+                continue
+            count = adaptive.strong.codeword_count(encoded.stored)
+            assert count < adaptive.strong.config.codeword_threshold
+
+    def test_strong_tier_survives_multiple_errors(self, adaptive, rng):
+        """The payoff: three scattered flips, all corrected."""
+        encoded, strength = adaptive.encode(strong_block())
+        assert strength == "strong"
+        struck = bytearray(encoded.stored)
+        for word in (0, 3, 6):  # three different (64,56) words
+            struck[word * 8] ^= 1 << rng.randrange(8)
+        decoded = adaptive.decode(bytes(struck))
+        assert decoded.strength == "strong"
+        assert decoded.result.data == strong_block()
+        assert decoded.result.corrected_words == 3
+
+    def test_standard_cop_loses_the_same_pattern(self, rng):
+        """Contrast: plain 4-byte COP silently demotes a 2-word error."""
+        from repro.core.codec import COPCodec
+
+        codec = COPCodec()
+        encoded = codec.encode(strong_block())
+        struck = bytearray(encoded.stored)
+        struck[0] ^= 1
+        struck[16] ^= 1
+        assert codec.decode(bytes(struck)).kind is BlockKind.RAW
+
+    def test_single_flip_corrected_in_every_tier(self, adaptive, rng):
+        for block in (strong_block(), standard_block(rng)):
+            encoded, strength = adaptive.encode(block)
+            if strength == "raw":
+                continue
+            bit = rng.randrange(512)
+            struck = bytearray(encoded.stored)
+            struck[bit // 8] ^= 1 << (bit % 8)
+            decoded = adaptive.decode(bytes(struck))
+            assert decoded.result.data == block
+
+
+class TestAliasing:
+    def test_random_blocks_rarely_alias_either_geometry(self, adaptive):
+        rng = random.Random("adaptive-alias")
+        assert not any(
+            adaptive.is_alias(rng.randbytes(64)) for _ in range(1000)
+        )
+
+    @given(block=any_blocks)
+    @settings(max_examples=60)
+    def test_roundtrip_identity_property(self, block):
+        adaptive = AdaptiveCodec()
+        encoded, _ = adaptive.encode(block)
+        assert adaptive.decode(encoded.stored).result.data == block

@@ -1,0 +1,144 @@
+"""Unit tests for the bit-level substrate."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._bits import (
+    BitReader,
+    Bits,
+    BitWriter,
+    bit_slice,
+    bytes_to_int,
+    int_to_bytes,
+    iter_set_bits,
+    parity,
+    popcount,
+)
+
+
+class TestConversions:
+    def test_bytes_to_int_little_endian(self):
+        assert bytes_to_int(b"\x01\x00") == 1
+        assert bytes_to_int(b"\x00\x01") == 256
+        assert bytes_to_int(b"") == 0
+
+    def test_int_to_bytes_roundtrip(self):
+        assert int_to_bytes(0x1234, 2) == b"\x34\x12"
+        assert int_to_bytes(0, 4) == b"\x00\x00\x00\x00"
+
+    @given(st.binary(min_size=0, max_size=80))
+    def test_roundtrip_property(self, data):
+        assert int_to_bytes(bytes_to_int(data), len(data)) == data
+
+    def test_bit_numbering_convention(self):
+        # Bit i of the int is bit i%8 of byte i//8.
+        value = bytes_to_int(b"\x01\x80")
+        assert value & 1  # byte 0, bit 0
+        assert value >> 15 & 1  # byte 1, bit 7
+
+    def test_int_to_bytes_overflow(self):
+        with pytest.raises(OverflowError):
+            int_to_bytes(256, 1)
+
+
+class TestBitHelpers:
+    def test_bit_slice(self):
+        assert bit_slice(0b1101_1000, 3, 4) == 0b1011
+        assert bit_slice(0xFF, 0, 8) == 0xFF
+        assert bit_slice(0xFF, 8, 8) == 0
+
+    def test_popcount_and_parity(self):
+        assert popcount(0b1011) == 3
+        assert parity(0b1011) == 1
+        assert parity(0b11) == 0
+        assert popcount(0) == 0
+
+    def test_iter_set_bits(self):
+        assert list(iter_set_bits(0b101001)) == [0, 3, 5]
+        assert list(iter_set_bits(0)) == []
+
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_iter_set_bits_reconstructs(self, value):
+        assert sum(1 << b for b in iter_set_bits(value)) == value
+
+
+class TestBits:
+    def test_validate_accepts_fitting_value(self):
+        assert Bits(7, 3).validate() == Bits(7, 3)
+
+    def test_validate_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            Bits(8, 3).validate()
+
+    def test_validate_rejects_negative_width(self):
+        with pytest.raises(ValueError):
+            Bits(0, -1).validate()
+
+    def test_to_bytes(self):
+        assert Bits(0x1FF, 9).to_bytes() == b"\xff\x01"
+
+
+class TestBitWriterReader:
+    def test_fields_roundtrip_in_order(self):
+        writer = BitWriter()
+        writer.write(0b10, 2)
+        writer.write(0x3FF, 10)
+        writer.write(0, 3)
+        bits = writer.getbits()
+        assert bits.nbits == 15
+        reader = BitReader(bits)
+        assert reader.read(2) == 0b10
+        assert reader.read(10) == 0x3FF
+        assert reader.read(3) == 0
+        assert reader.remaining == 0
+
+    def test_write_rejects_oversized_value(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write(4, 2)
+
+    def test_write_rejects_negative_width(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(0, -1)
+
+    def test_reader_underrun(self):
+        reader = BitReader(Bits(0b11, 2))
+        reader.read(2)
+        with pytest.raises(ValueError):
+            reader.read(1)
+
+    def test_reader_rejects_negative_width(self):
+        with pytest.raises(ValueError):
+            BitReader(Bits(0, 0)).read(-1)
+
+    def test_write_bytes_read_bytes(self):
+        writer = BitWriter()
+        writer.write(1, 1)
+        writer.write_bytes(b"\xab\xcd")
+        reader = BitReader(writer.getbits())
+        assert reader.read(1) == 1
+        assert reader.read_bytes(2) == b"\xab\xcd"
+
+    def test_position_tracking(self):
+        reader = BitReader(Bits(0, 10))
+        reader.read(3)
+        assert reader.position == 3
+        assert reader.remaining == 7
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=(1 << 16) - 1),
+                st.integers(min_value=16, max_value=20),
+            ),
+            max_size=30,
+        )
+    )
+    def test_many_fields_roundtrip(self, fields):
+        writer = BitWriter()
+        for value, width in fields:
+            writer.write(value, width)
+        reader = BitReader(writer.getbits())
+        for value, width in fields:
+            assert reader.read(width) == value

@@ -1,0 +1,155 @@
+"""Tests for the set-associative LLC with COP metadata."""
+
+import pytest
+
+from repro.cache.cache import SetAssocCache
+
+
+def make_cache(sets=4, ways=2):
+    return SetAssocCache(sets * ways * 64, ways)
+
+
+def addr_in_set(cache, set_index, tag):
+    """A block address mapping to the given set."""
+    return (tag * cache.num_sets + set_index) * cache.line_bytes
+
+
+class TestBasics:
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            SetAssocCache(100, 2)  # not a whole number of sets
+        with pytest.raises(ValueError):
+            SetAssocCache(0, 2)
+
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.lookup(0) is None
+        cache.insert(0, bytes(64))
+        line = cache.lookup(0)
+        assert line is not None and line.addr == 0
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_address_alignment(self):
+        cache = make_cache()
+        cache.insert(7, bytes(64))  # aligned down to 0
+        assert cache.lookup(63) is not None
+        assert cache.lookup(64) is None
+
+    def test_insert_updates_existing_line(self):
+        cache = make_cache()
+        cache.insert(0, bytes(64))
+        eviction = cache.insert(0, b"\x01" * 64, dirty=True)
+        assert eviction is None
+        line = cache.peek(0)
+        assert line.data == b"\x01" * 64 and line.dirty
+
+    def test_dirty_is_sticky_on_update(self):
+        cache = make_cache()
+        cache.insert(0, bytes(64), dirty=True)
+        cache.insert(0, bytes(64), dirty=False)
+        assert cache.peek(0).dirty
+
+    def test_peek_does_not_touch_stats_or_lru(self):
+        cache = make_cache()
+        cache.insert(0, bytes(64))
+        before = cache.stats.hits
+        cache.peek(0)
+        assert cache.stats.hits == before
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.insert(0, bytes(64))
+        assert cache.invalidate(0) is not None
+        assert cache.peek(0) is None
+        assert cache.invalidate(0) is None
+
+    def test_contains(self):
+        cache = make_cache()
+        cache.insert(128, bytes(64))
+        assert 128 in cache
+        assert 0 not in cache
+
+
+class TestLRU:
+    def test_lru_victim_selection(self):
+        cache = make_cache(sets=1, ways=2)
+        a, b, c = 0, 64, 128
+        cache.insert(a, bytes(64))
+        cache.insert(b, bytes(64))
+        cache.lookup(a)  # a is now MRU
+        eviction = cache.insert(c, bytes(64))
+        assert eviction.line.addr == b
+
+    def test_eviction_reports_dirty_victim(self):
+        cache = make_cache(sets=1, ways=1)
+        cache.insert(0, bytes(64), dirty=True)
+        eviction = cache.insert(64, bytes(64))
+        assert eviction.line.dirty
+        assert cache.stats.writebacks == 1
+
+    def test_no_eviction_until_full(self):
+        cache = make_cache(sets=1, ways=4)
+        for i in range(4):
+            assert cache.insert(i * 64, bytes(64)) is None
+        assert cache.insert(4 * 64, bytes(64)) is not None
+
+
+class TestAliasPinning:
+    def test_alias_lines_are_not_victims(self):
+        cache = make_cache(sets=1, ways=2)
+        cache.insert(0, bytes(64), alias=True)
+        cache.insert(64, bytes(64))
+        eviction = cache.insert(128, bytes(64))
+        assert eviction.line.addr == 64  # the non-alias way
+        assert cache.peek(0) is not None
+
+    def test_all_ways_pinned_spills_to_overflow(self):
+        cache = make_cache(sets=1, ways=2)
+        cache.insert(0, bytes(64), alias=True)
+        cache.insert(64, bytes(64), alias=True)
+        eviction = cache.insert(128, bytes(64))
+        assert eviction is None
+        assert cache.stats.overflow_spills == 1
+        assert len(cache.overflow) == 1
+
+    def test_overflowed_line_still_hits(self):
+        cache = make_cache(sets=1, ways=1)
+        cache.insert(0, bytes(64), alias=True)
+        cache.insert(64, b"\x07" * 64, dirty=True)
+        line = cache.lookup(64)
+        assert line is not None and line.data == b"\x07" * 64
+        assert cache.stats.overflow_hits == 1
+
+    def test_overflow_invalidate(self):
+        cache = make_cache(sets=1, ways=1)
+        cache.insert(0, bytes(64), alias=True)
+        cache.insert(64, bytes(64))
+        assert cache.invalidate(64) is not None
+        assert len(cache.overflow) == 0
+
+    def test_was_uncompressed_flag_persists(self):
+        cache = make_cache()
+        cache.insert(0, bytes(64), was_uncompressed=True)
+        assert cache.peek(0).was_uncompressed
+
+
+class TestStatsAndResidency:
+    def test_hit_rate(self):
+        cache = make_cache()
+        cache.insert(0, bytes(64))
+        cache.lookup(0)
+        cache.lookup(64)
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_empty(self):
+        assert make_cache().stats.hit_rate == 0.0
+
+    def test_resident_lines_includes_overflow(self):
+        cache = make_cache(sets=1, ways=1)
+        cache.insert(0, bytes(64), alias=True)
+        cache.insert(64, bytes(64))
+        assert {line.addr for line in cache.resident_lines()} == {0, 64}
+
+    def test_insert_validates_data_length(self):
+        with pytest.raises(ValueError):
+            make_cache().insert(0, b"short")

@@ -1,0 +1,163 @@
+"""Tests for the COP-chipkill extension."""
+
+import random
+import struct
+
+import pytest
+from hypothesis import given, settings
+
+from strategies import any_blocks
+from repro.core.chipkill import ChipkillCodec, ChipkillConfig, chipkill_compressor
+from repro.core.codec import BlockKind
+
+
+@pytest.fixture(scope="module")
+def codec():
+    return ChipkillCodec()
+
+
+def bdi_block(rng):
+    base = 0x1020304050607080
+    return struct.pack(
+        "<8Q", *[(base + rng.randrange(-(1 << 14), 1 << 14)) & (2**64 - 1)
+                 for _ in range(8)]
+    )
+
+
+class TestConfig:
+    def test_capacity(self):
+        config = ChipkillConfig()
+        assert config.capacity_bits == 384  # 48 bytes
+        assert config.required_free_bits == 128  # 16 check bytes
+
+    def test_compressor_suite(self):
+        combined = chipkill_compressor()
+        assert combined.name == "MSB+RLE+BDI"
+        # MSB must free 130 bits across 7 words: 19-bit compare field.
+        assert combined.schemes[0].compare_bits == 19
+        assert combined.schemes[1].min_free_bits == 130
+
+
+class TestRoundtrip:
+    def test_compressible_roundtrip(self, codec, rng):
+        block = bdi_block(rng)
+        encoded = codec.encode(block)
+        assert encoded.compressed
+        decoded = codec.decode(encoded.stored)
+        assert decoded.kind is BlockKind.COMPRESSED
+        assert decoded.data == block
+        assert decoded.valid_codewords == 8
+
+    def test_raw_passthrough(self, codec, rng):
+        noise = rng.randbytes(64)
+        encoded = codec.encode(noise)
+        assert not encoded.compressed
+        decoded = codec.decode(encoded.stored)
+        assert decoded.kind is BlockKind.RAW and decoded.data == noise
+
+    def test_block_length_validated(self, codec):
+        with pytest.raises(ValueError):
+            codec.encode(b"short")
+        with pytest.raises(ValueError):
+            codec.decode(b"short")
+
+    @given(block=any_blocks)
+    @settings(max_examples=60)
+    def test_roundtrip_identity(self, block):
+        codec = ChipkillCodec()
+        decoded = codec.decode(codec.encode(block).stored)
+        assert decoded.data == block
+
+
+class TestSoftErrors:
+    def test_single_bit_error_corrected(self, codec, rng):
+        block = bdi_block(rng)
+        stored = codec.encode(block).stored
+        for bit in range(0, 512, 13):
+            struck = bytearray(stored)
+            struck[bit // 8] ^= 1 << (bit % 8)
+            decoded = codec.decode(bytes(struck))
+            assert decoded.data == block, f"bit {bit}"
+            assert decoded.corrected_words >= 1
+
+    def test_scattered_errors_in_two_beats_corrected(self, codec, rng):
+        """One byte flipped in two beats: 6 beats stay valid (the
+        threshold), and both invalid beats are RS-corrected — strictly
+        stronger than the 4-byte SECDED variant, which corrects one
+        word per block."""
+        block = bdi_block(rng)
+        struck = bytearray(codec.encode(block).stored)
+        for beat in (1, 6):
+            struck[beat * 8 + rng.randrange(8)] ^= rng.randrange(1, 256)
+        decoded = codec.decode(bytes(struck))
+        assert decoded.data == block
+        assert decoded.corrected_words == 2
+
+    def test_errors_in_three_beats_fall_below_threshold(self, codec, rng):
+        """Blind classification needs >= 6 clean beats; a known failed
+        chip (the erasure path) is how whole-chip damage is handled."""
+        block = bdi_block(rng)
+        struck = bytearray(codec.encode(block).stored)
+        for beat in (0, 3, 7):
+            struck[beat * 8 + rng.randrange(8)] ^= rng.randrange(1, 256)
+        decoded = codec.decode(bytes(struck))
+        assert decoded.kind is BlockKind.RAW  # detected-as-raw, like COP
+
+
+class TestChipFailure:
+    def test_fail_chip_validation(self, codec):
+        with pytest.raises(ValueError):
+            ChipkillCodec.fail_chip(bytes(64), 8, bytes(8))
+        with pytest.raises(ValueError):
+            ChipkillCodec.fail_chip(bytes(64), 0, bytes(4))
+
+    def test_every_chip_recoverable_with_erasure(self, codec, rng):
+        block = bdi_block(rng)
+        stored = codec.encode(block).stored
+        for chip in range(8):
+            failed = ChipkillCodec.fail_chip(stored, chip, rng.randbytes(8))
+            decoded = codec.decode(failed, failed_chip=chip)
+            assert decoded.kind is BlockKind.COMPRESSED
+            assert decoded.data == block
+
+    def test_raw_block_with_failed_chip_not_misread(self, codec, rng):
+        noise = rng.randbytes(64)
+        failed = ChipkillCodec.fail_chip(noise, 5, rng.randbytes(8))
+        decoded = codec.decode(failed, failed_chip=5)
+        assert decoded.kind is BlockKind.RAW
+
+    def test_sec_ded_variants_cannot_survive_chip_failure(self, rng):
+        """The motivation: plain COP loses data to a dead chip."""
+        from repro.core.codec import COPCodec
+
+        cop = COPCodec()
+        block = bytes(64)
+        stored = cop.encode(block).stored
+        failed = ChipkillCodec.fail_chip(stored, 2, rng.randbytes(8))
+        decoded = cop.decode(failed)
+        # 8 corrupted bytes spread over all four code words: at best
+        # detected, typically demoted to raw = silent corruption.
+        assert decoded.data != block
+
+
+class TestCoverage:
+    def test_coverage_tradeoff_vs_4byte(self, rng):
+        """25% targets protect fewer blocks than 6.25% ones (Sec. 2)."""
+        from repro.core.codec import COPCodec
+        from repro.experiments.common import sample_blocks
+
+        chip = ChipkillCodec()
+        cop = COPCodec()
+        blocks = sample_blocks("mcf", 300)
+        chip_frac = sum(1 for b in blocks if chip.encode(b).compressed) / 300
+        cop_frac = sum(1 for b in blocks if cop.encode(b).compressed) / 300
+        assert 0.0 < chip_frac <= cop_frac
+
+    def test_alias_probability_far_lower(self, codec, rng):
+        """Random beats are valid RS words with p = 2^-16."""
+        aliases = sum(
+            1 for _ in range(500) if codec.is_alias(rng.randbytes(64))
+        )
+        assert aliases == 0
+        counts = [codec.codeword_count(rng.randbytes(64)) for _ in range(500)]
+        assert max(counts) <= 1

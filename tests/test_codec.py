@@ -1,0 +1,171 @@
+"""Unit and property tests for the COP block codec (Fig. 2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from strategies import any_blocks, raw_blocks, small_int_blocks, text_blocks
+from repro.core.codec import BlockKind, COPCodec, EncodedBlock
+from repro.core.config import COPConfig
+
+
+class TestEncoding:
+    def test_compressible_block_is_transformed(self, codec4):
+        block = b"hello, memory protection!".ljust(64, b" ")
+        encoded = codec4.encode(block)
+        assert encoded.compressed
+        assert len(encoded.stored) == 64
+        assert encoded.stored != block  # hash + ECC scramble the image
+
+    def test_incompressible_block_stored_verbatim(self, codec4, rng):
+        block = rng.randbytes(64)
+        encoded = codec4.encode(block)
+        assert not encoded.compressed
+        assert encoded.stored == block
+
+    def test_compressed_image_has_all_codewords(self, codec4):
+        encoded = codec4.encode(bytes(64))
+        assert codec4.codeword_count(encoded.stored) == 4
+
+    def test_block_length_validated(self, codec4):
+        with pytest.raises(ValueError):
+            codec4.encode(b"short")
+
+    def test_encoded_block_validates_length(self):
+        with pytest.raises(ValueError):
+            EncodedBlock(stored=b"short", compressed=True)
+
+
+class TestDecoding:
+    def test_clean_compressed_roundtrip(self, codec4):
+        block = b"\x01\x00\x00\x00" * 16
+        decoded = codec4.decode(codec4.encode(block).stored)
+        assert decoded.kind is BlockKind.COMPRESSED
+        assert decoded.data == block
+        assert decoded.valid_codewords == 4
+        assert decoded.corrected_words == 0
+        assert not decoded.uncorrectable
+
+    def test_raw_passthrough(self, codec4, rng):
+        block = rng.randbytes(64)
+        decoded = codec4.decode(codec4.encode(block).stored)
+        assert decoded.kind is BlockKind.RAW
+        assert decoded.data == block
+        assert decoded.valid_codewords < 3
+
+    def test_single_bit_error_corrected_everywhere(self, codec4):
+        """Any of the 512 stored bits may flip; data must survive."""
+        block = b"\x07\x00\x00\x00\x00\x00\x00\x00" * 8
+        stored = codec4.encode(block).stored
+        for bit in range(0, 512, 7):  # sample across the block
+            struck = bytearray(stored)
+            struck[bit // 8] ^= 1 << (bit % 8)
+            decoded = codec4.decode(bytes(struck))
+            assert decoded.kind is BlockKind.COMPRESSED
+            assert decoded.data == block
+            assert decoded.corrected_words == 1
+            assert decoded.valid_codewords == 3
+
+    def test_double_error_same_word_detected(self, codec4):
+        block = bytes(64)
+        stored = bytearray(codec4.encode(block).stored)
+        stored[0] ^= 0b11  # two flips within code word 0
+        decoded = codec4.decode(bytes(stored))
+        assert decoded.kind is BlockKind.COMPRESSED
+        assert decoded.uncorrectable
+
+    def test_double_error_different_words_demotes_to_raw(self, codec4):
+        """Section 3.1's corner case: only 2 valid words remain."""
+        block = bytes(64)
+        stored = bytearray(codec4.encode(block).stored)
+        stored[0] ^= 1  # word 0
+        stored[16] ^= 1  # word 1
+        decoded = codec4.decode(bytes(stored))
+        assert decoded.kind is BlockKind.RAW  # silent corruption
+        assert decoded.valid_codewords == 2
+
+    def test_eight_byte_variant_corrects_multiple_words(self, codec8):
+        """The 8x(64,56) geometry fixes one error in up to 3 words."""
+        block = bytes(64)
+        stored = bytearray(codec8.encode(block).stored)
+        for word in (0, 2, 5):  # three distinct 8-byte code words
+            stored[word * 8] ^= 1
+        decoded = codec8.decode(bytes(stored))
+        assert decoded.kind is BlockKind.COMPRESSED
+        assert decoded.data == block
+        assert decoded.corrected_words == 3
+        assert decoded.valid_codewords == 5
+
+
+class TestAliasing:
+    def test_random_blocks_rarely_alias(self, codec4, rng):
+        aliases = sum(
+            1 for _ in range(2000) if codec4.is_alias(rng.randbytes(64))
+        )
+        assert aliases == 0  # odds are 2e-7 per block
+
+    def test_repeated_codeword_block_defeated_by_hash(self, codec4, rng):
+        word = codec4.code.encode(rng.getrandbits(120))
+        block = word.to_bytes(16, "little") * 4
+        assert codec4.codeword_count(block) <= 1
+        assert not codec4.is_alias(block)
+
+    def test_crafted_alias_detected(self, codec4, rng):
+        """A block built to alias (post-hash code words) is caught."""
+        words = [
+            codec4.code.encode(rng.getrandbits(120)) ^ mask
+            for mask in codec4.masks
+        ]
+        block = b"".join(w.to_bytes(16, "little") for w in words)
+        assert codec4.codeword_count(block) == 4
+        assert codec4.is_alias(block)
+
+    def test_codeword_count_validates_length(self, codec4):
+        with pytest.raises(ValueError):
+            codec4.codeword_count(b"x")
+
+
+class TestProperties:
+    @given(block=any_blocks)
+    @settings(max_examples=120)
+    def test_roundtrip_identity_4byte(self, block):
+        codec = COPCodec(COPConfig.four_byte())
+        decoded = codec.decode(codec.encode(block).stored)
+        assert decoded.data == block
+
+    @given(block=any_blocks)
+    @settings(max_examples=60)
+    def test_roundtrip_identity_8byte(self, block):
+        codec = COPCodec(COPConfig.eight_byte())
+        decoded = codec.decode(codec.encode(block).stored)
+        assert decoded.data == block
+
+    @given(block=small_int_blocks(), bit=st.integers(0, 511))
+    @settings(max_examples=80)
+    def test_single_flip_never_corrupts_compressed(self, block, bit):
+        codec = COPCodec(COPConfig.four_byte())
+        encoded = codec.encode(block)
+        assert encoded.compressed
+        struck = bytearray(encoded.stored)
+        struck[bit // 8] ^= 1 << (bit % 8)
+        decoded = codec.decode(bytes(struck))
+        assert decoded.data == block
+
+    @given(block=text_blocks())
+    @settings(max_examples=40)
+    def test_stored_image_is_always_64_bytes(self, block):
+        codec = COPCodec(COPConfig.four_byte())
+        assert len(codec.encode(block).stored) == 64
+
+    @given(block=raw_blocks)
+    @settings(max_examples=60)
+    def test_raw_blocks_never_misread(self, block):
+        """An incompressible non-alias block must decode as itself."""
+        codec = COPCodec(COPConfig.four_byte())
+        encoded = codec.encode(block)
+        if not encoded.compressed and not codec.is_alias(block):
+            decoded = codec.decode(encoded.stored)
+            assert decoded.kind is BlockKind.RAW
+            assert decoded.data == block

@@ -1,0 +1,44 @@
+"""Tests for the named-code registry."""
+
+from repro.ecc.codes import (
+    CODE_NAMES,
+    code_64_56,
+    code_72_64,
+    code_128_120,
+    code_512_501,
+    code_523_512,
+    get_hamming,
+    get_secded,
+    pointer_code,
+)
+
+
+def test_registry_caches_instances():
+    assert get_secded(128, 120) is get_secded(128, 120)
+    assert get_hamming(34, 28) is get_hamming(34, 28)
+
+
+def test_named_codes_have_documented_geometries():
+    for code, geometry in [
+        (code_72_64(), (72, 64)),
+        (code_128_120(), (128, 120)),
+        (code_64_56(), (64, 56)),
+        (code_523_512(), (523, 512)),
+        (code_512_501(), (512, 501)),
+        (pointer_code(), (34, 28)),
+    ]:
+        assert (code.n, code.k) == geometry
+        assert geometry in CODE_NAMES
+
+
+def test_named_codes_are_cached():
+    assert code_128_120() is code_128_120()
+    assert pointer_code() is pointer_code()
+
+
+def test_128_120_is_full_version_of_72_64():
+    """The paper picks (128,120) because it extends the (72,64) family."""
+    full = code_128_120()
+    truncated = code_72_64()
+    assert full.r == truncated.r == 8
+    assert full.k - truncated.k == 56

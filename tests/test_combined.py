@@ -1,0 +1,154 @@
+"""Tests for the combined (hybrid) compressor and the scheme suites."""
+
+import pytest
+from hypothesis import given, settings
+
+from strategies import any_blocks, msb_blocks, rle_blocks, text_blocks
+from repro._bits import Bits
+from repro.compression.base import SCHEME_TAG_BITS, CompressionScheme, payload_budget
+from repro.compression.combined import (
+    CombinedCompressor,
+    cop_combined_compressor,
+    cop_scheme_suite,
+)
+
+TOTAL4 = payload_budget(4) + SCHEME_TAG_BITS  # 480: capacity incl. tag
+
+
+class TestSuiteConstruction:
+    def test_4_byte_suite_is_txt_msb_rle(self):
+        assert list(cop_scheme_suite(4)) == ["TXT", "MSB", "RLE"]
+
+    def test_8_byte_suite_drops_txt(self):
+        assert list(cop_scheme_suite(8)) == ["MSB", "RLE"]
+
+    def test_msb_compare_width_scales(self):
+        assert cop_scheme_suite(4)["MSB"].compare_bits == 5
+        assert cop_scheme_suite(8)["MSB"].compare_bits == 10
+
+    def test_rle_threshold_scales(self):
+        assert cop_scheme_suite(4)["RLE"].min_free_bits == 34
+        assert cop_scheme_suite(8)["RLE"].min_free_bits == 66
+
+    def test_combined_names(self):
+        assert cop_combined_compressor(4).name == "TXT+MSB+RLE"
+        assert cop_combined_compressor(8).name == "MSB+RLE"
+
+    def test_too_many_schemes_rejected(self):
+        schemes = list(cop_scheme_suite(4).values())
+        with pytest.raises(ValueError):
+            CombinedCompressor(schemes * 2)
+        with pytest.raises(ValueError):
+            CombinedCompressor([])
+
+
+class TestDispatch:
+    def test_tag_identifies_scheme(self):
+        combined = cop_combined_compressor(4)
+        text = b"a" * 64
+        payload = combined.compress(text, TOTAL4)
+        assert payload.value & 0b11 == 0  # TXT is tag 0
+
+        import struct
+
+        # Sign bit set so TXT declines; shared bits 62..58 so MSB accepts.
+        msb = struct.pack(
+            "<8Q", *[(1 << 63) | (0b01110 << 58) | i for i in range(8)]
+        )
+        payload = combined.compress(msb, TOTAL4)
+        assert payload.value & 0b11 == 1  # MSB is tag 1
+
+        # High-bit ramp defeats TXT and MSB; two 3-byte zero runs feed RLE.
+        rle = bytearray((0x80 + 7 * i) % 256 for i in range(64))
+        rle[0:3] = bytes(3)
+        rle[10:13] = bytes(3)
+        payload = combined.compress(bytes(rle), TOTAL4)
+        assert payload.value & 0b11 == 2  # RLE is tag 2
+
+    def test_unknown_tag_rejected(self):
+        combined = cop_combined_compressor(4)
+        with pytest.raises(ValueError):
+            combined.decompress(Bits(0b11, 480))
+
+    def test_incompressible_returns_none(self):
+        import random
+
+        combined = cop_combined_compressor(4)
+        assert combined.compress(random.Random(0).randbytes(64), TOTAL4) is None
+
+    def test_budget_includes_tag(self):
+        """The 2-bit tag must fit inside the budget, not on top of it."""
+        combined = cop_combined_compressor(4)
+        text = b"a" * 64  # TXT payload: 448 bits + 2 tag
+        assert combined.compress(text, 450) is not None
+        assert combined.compress(text, 449) is None
+
+
+class TestRoundtrips:
+    @given(block=text_blocks())
+    @settings(max_examples=50)
+    def test_text_roundtrip(self, block):
+        combined = cop_combined_compressor(4)
+        payload = combined.compress(block, TOTAL4)
+        assert payload is not None
+        assert combined.decompress(payload) == block
+
+    @given(block=msb_blocks())
+    @settings(max_examples=50)
+    def test_msb_roundtrip(self, block):
+        combined = cop_combined_compressor(4)
+        payload = combined.compress(block, TOTAL4)
+        assert payload is not None
+        assert combined.decompress(payload) == block
+
+    @given(block=rle_blocks())
+    @settings(max_examples=50)
+    def test_rle_roundtrip(self, block):
+        combined = cop_combined_compressor(4)
+        payload = combined.compress(block, TOTAL4)
+        assert payload is not None
+        assert combined.decompress(payload) == block
+
+    @given(block=any_blocks)
+    @settings(max_examples=100)
+    def test_any_roundtrip_whenever_compressible(self, block):
+        for ecc_bytes in (4, 8):
+            combined = cop_combined_compressor(ecc_bytes)
+            budget = payload_budget(ecc_bytes) + SCHEME_TAG_BITS
+            payload = combined.compress(block, budget)
+            if payload is not None:
+                assert payload.nbits <= budget
+                assert combined.decompress(payload) == block
+
+
+class TestExtensibility:
+    def test_custom_scheme_in_fourth_slot(self):
+        class Ascending(CompressionScheme):
+            """Byte ramps: block[i] == (block[0] + i) & 0xFF."""
+
+            name = "RAMP"
+
+            def compress(self, block, budget_bits):
+                if budget_bits < 8:
+                    return None
+                if any(b != (block[0] + i) & 0xFF for i, b in enumerate(block)):
+                    return None
+                return Bits(block[0], 8)
+
+            def decompress(self, payload):
+                from repro._bits import BitReader
+
+                start = BitReader(payload).read(8)
+                return bytes((start + i) & 0xFF for i in range(64))
+
+        combined = CombinedCompressor(
+            list(cop_scheme_suite(4).values()) + [Ascending()]
+        )
+        # A ramp starting above 0x80: TXT (high bits), MSB (word MSBs
+        # differ) and RLE (no 0x00/0xFF runs) all decline; the custom
+        # scheme in tag slot 3 picks it up.
+        block = bytes((0x90 + i) & 0xFF for i in range(64))
+        assert cop_combined_compressor(4).compress(block, TOTAL4) is None
+        payload = combined.compress(block, TOTAL4)
+        assert payload is not None and payload.value & 0b11 == 3
+        assert combined.decompress(payload) == block

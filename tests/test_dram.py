@@ -1,0 +1,198 @@
+"""Tests for the DRAM address mapping and timing model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.address import AddressMapper, DRAMGeometry, MappedAddress
+from repro.memory.dram import DDR3_1600, DRAMConfig, DRAMSystem, DRAMTiming
+
+
+class TestGeometry:
+    def test_table1_defaults(self):
+        g = DRAMGeometry()
+        assert g.channels == 2
+        assert g.ranks_per_channel == 2
+        assert g.banks_per_rank == 8
+        assert g.capacity_bytes == 8 << 30
+        assert g.blocks_per_row == 128
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DRAMGeometry(channels=3)
+        with pytest.raises(ValueError):
+            DRAMGeometry(row_bytes=100)
+
+    def test_total_blocks(self):
+        assert DRAMGeometry().total_blocks == (8 << 30) // 64
+
+
+class TestAddressMapper:
+    def test_field_order_validation(self):
+        with pytest.raises(ValueError):
+            AddressMapper(order=("row", "bank", "col", "channel"))
+
+    def test_consecutive_blocks_alternate_channels(self):
+        mapper = AddressMapper()
+        assert mapper.map(0).channel != mapper.map(64).channel
+
+    def test_blocks_in_run_share_row(self):
+        mapper = AddressMapper()
+        a = mapper.map(0)
+        b = mapper.map(128)  # same channel as 0 (two blocks later)
+        assert (a.row, a.bank, a.rank, a.channel) == (
+            b.row,
+            b.bank,
+            b.rank,
+            b.channel,
+        )
+
+    @given(st.integers(min_value=0, max_value=(8 << 30) - 64))
+    @settings(max_examples=60)
+    def test_map_compose_roundtrip(self, addr):
+        mapper = AddressMapper()
+        aligned = addr - addr % 64
+        assert mapper.compose(mapper.map(addr)) == aligned
+
+    def test_fields_within_bounds(self):
+        mapper = AddressMapper()
+        g = mapper.geometry
+        for addr in range(0, 1 << 20, 64 * 17):
+            m = mapper.map(addr)
+            assert 0 <= m.channel < g.channels
+            assert 0 <= m.rank < g.ranks_per_channel
+            assert 0 <= m.bank < g.banks_per_rank
+            assert 0 <= m.col < g.blocks_per_row
+            assert 0 <= m.row < g.num_rows
+
+
+class TestTiming:
+    def test_latency_constants(self):
+        t = DRAMTiming()
+        assert t.row_hit_ns == pytest.approx((11 + 4) * 1.25)
+        assert t.row_miss_ns == pytest.approx((11 + 11 + 11 + 4) * 1.25)
+
+    def test_first_access_is_row_open_no_precharge(self):
+        dram = DRAMSystem()
+        timing = dram.access(0, False, 0.0)
+        assert not timing.row_hit
+        # Closed bank: activate + CAS + burst, no precharge.
+        assert timing.latency_ns == pytest.approx((11 + 11 + 4) * 1.25)
+
+    def test_second_access_same_row_hits(self):
+        dram = DRAMSystem()
+        first = dram.access(0, False, 0.0)
+        second = dram.access(128, False, first.complete_ns)
+        assert second.row_hit
+        assert second.latency_ns == pytest.approx(DRAMTiming().row_hit_ns)
+
+    def test_row_conflict_pays_precharge(self):
+        dram = DRAMSystem()
+        mapper = dram.mapper
+        base = mapper.map(0)
+        conflict_addr = mapper.compose(base._replace(row=base.row + 1))
+        first = dram.access(0, False, 0.0)
+        # Wait out tRAS so only tRP + tRCD + CL + burst remain.
+        start = first.complete_ns + 100.0
+        second = dram.access(conflict_addr, False, start)
+        assert not second.row_hit
+        assert second.latency_ns == pytest.approx(DRAMTiming().row_miss_ns)
+
+    def test_channel_bus_serialises_bursts(self):
+        dram = DRAMSystem()
+        mapper = dram.mapper
+        # Two addresses on the same channel, different banks, same start.
+        a = mapper.compose(MappedAddress(channel=0, rank=0, bank=0, row=0, col=0))
+        b = mapper.compose(MappedAddress(channel=0, rank=0, bank=1, row=0, col=0))
+        ta = dram.access(a, False, 0.0)
+        tb = dram.access(b, False, 0.0)
+        burst = DRAMTiming().ns(DRAMTiming().burst_cycles)
+        assert tb.complete_ns >= ta.complete_ns + burst - 1e-9
+
+    def test_different_channels_overlap(self):
+        dram = DRAMSystem()
+        mapper = dram.mapper
+        a = mapper.compose(MappedAddress(channel=0, rank=0, bank=0, row=0, col=0))
+        b = mapper.compose(MappedAddress(channel=1, rank=0, bank=0, row=0, col=0))
+        ta = dram.access(a, False, 0.0)
+        tb = dram.access(b, False, 0.0)
+        assert ta.complete_ns == pytest.approx(tb.complete_ns)
+
+    def test_stats_accumulate(self):
+        dram = DRAMSystem()
+        dram.access(0, False, 0.0)
+        dram.access(128, True, 100.0)
+        assert dram.stats.reads == 1 and dram.stats.writes == 1
+        assert dram.stats.row_hits == 1 and dram.stats.row_misses == 1
+        assert dram.stats.row_hit_rate == pytest.approx(0.5)
+
+    def test_time_monotonicity(self):
+        """Completions never precede their issue time."""
+        import random
+
+        dram = DRAMSystem()
+        rng = random.Random(4)
+        now = 0.0
+        for _ in range(200):
+            addr = rng.randrange(1 << 22) * 64
+            timing = dram.access(addr, rng.random() < 0.3, now)
+            assert timing.complete_ns > now
+            now += rng.random() * 5
+
+
+class TestPagePolicy:
+    def test_closed_page_never_row_hits(self):
+        from repro.memory.dram import DRAMConfig, PagePolicy
+
+        dram = DRAMSystem(DRAMConfig(page_policy=PagePolicy.CLOSED))
+        first = dram.access(0, False, 0.0)
+        second = dram.access(128, False, first.complete_ns + 100.0)
+        assert not second.row_hit
+        assert dram.stats.row_hit_rate == 0.0
+
+    def test_closed_page_honours_tras_trp(self):
+        from repro.memory.dram import DRAMConfig, PagePolicy
+
+        timing = DRAMTiming()
+        dram = DRAMSystem(DRAMConfig(page_policy=PagePolicy.CLOSED))
+        first = dram.access(0, False, 0.0)
+        # Back-to-back to the same bank: the auto-precharge cycle
+        # (tRAS + tRP from the activate) gates the next activate.
+        second = dram.access(128, False, first.complete_ns)
+        assert second.start_ns >= timing.ns(timing.tras + timing.trp) - 1e-9
+
+    def test_open_beats_closed_on_sequential_runs(self):
+        from repro.memory.dram import DRAMConfig, PagePolicy
+
+        def total(policy):
+            dram = DRAMSystem(DRAMConfig(page_policy=policy))
+            t = 0.0
+            for i in range(32):
+                t = dram.access(i * 128, False, t).complete_ns
+            return t
+
+        assert total(PagePolicy.OPEN) < total(PagePolicy.CLOSED)
+
+
+class TestBatchScheduling:
+    def test_row_hits_scheduled_first(self):
+        dram = DRAMSystem()
+        mapper = dram.mapper
+        open_addr = mapper.compose(
+            MappedAddress(channel=0, rank=0, bank=0, row=5, col=0)
+        )
+        dram.access(open_addr, False, 0.0)  # opens row 5
+        conflict = mapper.compose(
+            MappedAddress(channel=0, rank=0, bank=0, row=9, col=0)
+        )
+        hit = mapper.compose(
+            MappedAddress(channel=0, rank=0, bank=0, row=5, col=3)
+        )
+        results = dram.access_batch([(conflict, False), (hit, False)], 200.0)
+        # Results keep request order, but the row hit completed first.
+        assert results[1].complete_ns < results[0].complete_ns
+
+    def test_batch_returns_all(self):
+        dram = DRAMSystem()
+        requests = [(i * 64, False) for i in range(10)]
+        assert len(dram.access_batch(requests, 0.0)) == 10

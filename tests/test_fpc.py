@@ -1,0 +1,115 @@
+"""Unit and property tests for frequent pattern compression."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+
+from strategies import any_blocks, small_int_blocks
+from repro.compression.base import BLOCK_BITS, payload_budget
+from repro.compression.fpc import FPCCompressor
+
+BUDGET4 = payload_budget(4)
+
+
+@pytest.fixture(scope="module")
+def fpc():
+    return FPCCompressor()
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "word,prefix,bits",
+        [
+            (0, 0b000, 0),
+            (7, 0b001, 4),  # 4-bit sign-extended
+            (0xFFFFFFF9, 0b001, 4),  # -7
+            (100, 0b010, 8),
+            (0xFFFFFF80, 0b010, 8),  # -128
+            (30000, 0b011, 16),
+            (0x1234_0000, 0b100, 16),  # lower halfword zero
+            (0x0040_0010, 0b101, 16),  # two sign-extended-byte halfwords
+            (0x7A7A7A7A, 0b110, 8),  # repeated bytes
+            (0x12345678, 0b111, 32),  # uncompressed
+        ],
+    )
+    def test_patterns(self, fpc, word, prefix, bits):
+        got_prefix, _, got_bits = fpc.classify(word)
+        assert (got_prefix, got_bits) == (prefix, bits)
+
+    def test_classification_priority(self, fpc):
+        # Zero matches 000 before any other pattern it also satisfies.
+        assert fpc.classify(0)[0] == 0b000
+
+
+class TestSizeAccounting:
+    def test_zero_block_size(self, fpc):
+        assert fpc.compressed_size_bits(bytes(64)) == 48  # 16 prefixes
+
+    def test_incompressible_block_expands(self, fpc):
+        block = struct.pack("<16I", *[0x89ABCDEF + i * 0x01010101 for i in range(16)])
+        size = fpc.compressed_size_bits(block)
+        assert size > BLOCK_BITS  # 48 bits of prefix on top of raw words
+
+    def test_metadata_cost_is_48_bits(self, fpc):
+        """The paper's argument: FPC must recoup 48 + 34 bits to help COP."""
+        block = struct.pack("<16I", *([0] * 3 + [0x89ABCDEF] * 13))
+        # 3 zero words save 3*32; total = 48 + 13*32 = 464 bits.
+        assert fpc.compressed_size_bits(block) == 464
+
+
+class TestRoundtrip:
+    def test_small_ints_compress(self, fpc):
+        block = struct.pack("<16i", *range(-8, 8))
+        payload = fpc.compress(block, BUDGET4)
+        assert payload is not None
+        assert fpc.decompress(payload) == block
+
+    def test_budget_rejection(self, fpc):
+        block = struct.pack("<16I", *[0x89ABCDEF + i * 7 for i in range(16)])
+        assert fpc.compress(block, BUDGET4) is None
+
+    def test_all_patterns_roundtrip(self, fpc):
+        words = [
+            0,
+            7,
+            0xFFFFFFF9,
+            100,
+            0xFFFFFF80,
+            30000,
+            0xFFFF8000,
+            0x1234_0000,
+            0x0040_0010,
+            0xFF81_0075,
+            0x7A7A7A7A,
+            0x12345678,
+            0,
+            0,
+            0,
+            0,
+        ]
+        block = struct.pack("<16I", *words)
+        payload = fpc.compress(block, BLOCK_BITS + 48)
+        assert payload is not None
+        assert fpc.decompress(payload) == block
+
+    @given(block=small_int_blocks())
+    @settings(max_examples=80)
+    def test_small_int_roundtrip_property(self, fpc, block):
+        payload = fpc.compress(block, BUDGET4)
+        assert payload is not None  # small ints always fit
+        assert fpc.decompress(payload) == block
+
+    @given(block=any_blocks)
+    @settings(max_examples=100)
+    def test_roundtrip_whenever_compressible(self, fpc, block):
+        payload = fpc.compress(block, BUDGET4)
+        if payload is not None:
+            assert fpc.decompress(payload) == block
+
+    @given(block=any_blocks)
+    @settings(max_examples=60)
+    def test_size_matches_compress(self, fpc, block):
+        size = fpc.compressed_size_bits(block)
+        payload = fpc.compress(block, size)
+        assert payload is not None and payload.nbits == size

@@ -1,0 +1,99 @@
+"""Tests for the GF(2^8) field arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.gf256 import GF256, field
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+@pytest.fixture(scope="module")
+def gf():
+    return field()
+
+
+class TestTables:
+    def test_exp_covers_all_nonzero_elements(self, gf):
+        assert sorted(gf.exp[:255]) == sorted(set(gf.exp[:255]))
+        assert set(gf.exp[:255]) == set(range(1, 256))
+
+    def test_exp_log_inverse(self, gf):
+        for value in range(1, 256):
+            assert gf.exp[gf.log[value]] == value
+
+    def test_field_is_cached_singleton(self):
+        assert field() is field()
+
+
+class TestArithmetic:
+    def test_add_is_xor(self, gf):
+        assert GF256.add(0x53, 0xCA) == 0x53 ^ 0xCA
+
+    def test_mul_identity_and_zero(self, gf):
+        for value in range(256):
+            assert gf.mul(value, 1) == value
+            assert gf.mul(value, 0) == 0
+
+    def test_known_aes_product(self, gf):
+        # The classic AES example: 0x57 * 0x83 = 0xC1 under 0x11B.
+        assert gf.mul(0x57, 0x83) == 0xC1
+
+    def test_inverse(self, gf):
+        for value in range(1, 256):
+            assert gf.mul(value, gf.inv(value)) == 1
+
+    def test_inverse_of_zero_raises(self, gf):
+        with pytest.raises(ZeroDivisionError):
+            gf.inv(0)
+
+    def test_div(self, gf):
+        assert gf.div(gf.mul(7, 9), 9) == 7
+
+    def test_pow(self, gf):
+        assert gf.pow(3, 0) == 1
+        assert gf.pow(3, 255) == 1  # the group order
+        assert gf.pow(0, 5) == 0
+        assert gf.pow(0, 0) == 1
+
+    @given(a=elements, b=elements, c=elements)
+    @settings(max_examples=80)
+    def test_mul_distributes_over_add(self, gf, a, b, c):
+        assert gf.mul(a, b ^ c) == gf.mul(a, b) ^ gf.mul(a, c)
+
+    @given(a=elements, b=elements)
+    @settings(max_examples=80)
+    def test_mul_commutes(self, gf, a, b):
+        assert gf.mul(a, b) == gf.mul(b, a)
+
+    @given(a=elements, b=elements, c=elements)
+    @settings(max_examples=80)
+    def test_mul_associates(self, gf, a, b, c):
+        assert gf.mul(gf.mul(a, b), c) == gf.mul(a, gf.mul(b, c))
+
+
+class TestPolynomials:
+    def test_eval_constant(self, gf):
+        assert gf.poly_eval([7], 100) == 7
+
+    def test_eval_linear(self, gf):
+        # p(x) = 5 + 3x at x=2: 5 ^ mul(3, 2)
+        assert gf.poly_eval([5, 3], 2) == 5 ^ gf.mul(3, 2)
+
+    def test_poly_mul_degree(self, gf):
+        out = gf.poly_mul([1, 1], [1, 1])  # (1+x)^2 = 1 + x^2 in char 2
+        assert out == [1, 0, 1]
+
+    @given(
+        a=st.lists(elements, min_size=1, max_size=4),
+        b=st.lists(elements, min_size=1, max_size=4),
+        x=elements,
+    )
+    @settings(max_examples=60)
+    def test_poly_mul_matches_eval(self, gf, a, b, x):
+        product = gf.poly_mul(a, b)
+        assert gf.poly_eval(product, x) == gf.mul(
+            gf.poly_eval(a, x), gf.poly_eval(b, x)
+        )

@@ -1,0 +1,47 @@
+"""Tests for the static hash masks."""
+
+import pytest
+
+from repro.ecc.hashmask import DEFAULT_HASH_SEED, apply_masks, static_hash_masks
+
+
+def test_masks_are_deterministic():
+    assert static_hash_masks(4, 128) == static_hash_masks(4, 128)
+
+
+def test_masks_are_distinct_per_segment():
+    masks = static_hash_masks(8, 64)
+    assert len(set(masks)) == 8
+
+
+def test_masks_fit_width():
+    for mask in static_hash_masks(4, 128):
+        assert 0 <= mask < (1 << 128)
+
+
+def test_different_seeds_differ():
+    assert static_hash_masks(4, 128, seed=1) != static_hash_masks(4, 128, seed=2)
+
+
+def test_default_seed_is_stable_constant():
+    assert static_hash_masks(4, 128) == static_hash_masks(
+        4, 128, seed=DEFAULT_HASH_SEED
+    )
+
+
+def test_apply_masks_is_involution():
+    masks = static_hash_masks(4, 128)
+    words = [123, 456, 789, 1 << 100]
+    hashed = apply_masks(words, masks)
+    assert hashed != words
+    assert apply_masks(hashed, masks) == words
+
+
+def test_apply_masks_length_mismatch():
+    with pytest.raises(ValueError):
+        apply_masks([1, 2], static_hash_masks(4, 128))
+
+
+def test_masks_nonzero():
+    """A zero mask would leave one segment unhashed (repeated-value risk)."""
+    assert all(m != 0 for m in static_hash_masks(8, 64))

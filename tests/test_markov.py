@@ -1,0 +1,126 @@
+"""Tests for the closed-form multi-error outcome model."""
+
+import math
+
+import pytest
+
+from repro.core.config import COPConfig
+from repro.reliability.markov import (
+    OutcomeProbabilities,
+    consumed_failure_probability,
+    cop_block_outcomes,
+    poisson_pmf,
+    secded_outcomes,
+    word_occupancy_probs,
+)
+
+
+class TestPoisson:
+    def test_pmf_values(self):
+        assert poisson_pmf(0.0, 0) == 1.0
+        assert poisson_pmf(1.0, 1) == pytest.approx(math.exp(-1))
+        assert poisson_pmf(2.0, 2) == pytest.approx(2 * math.exp(-2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_pmf(-1.0, 0)
+        with pytest.raises(ValueError):
+            poisson_pmf(1.0, -1)
+
+
+class TestOccupancy:
+    def test_k_within_capacity(self):
+        assert word_occupancy_probs(1, 4, 1) == (1.0, 0.0)
+
+    def test_two_flips_four_words(self):
+        # P(same word) = 1/4 with uniform word assignment.
+        p_within, p_exceed = word_occupancy_probs(2, 4, 1)
+        assert p_exceed == pytest.approx(0.25)
+        assert p_within == pytest.approx(0.75)
+
+    def test_three_flips_eight_words(self):
+        p_within, _ = word_occupancy_probs(3, 8, 1)
+        # P(all distinct) = 8*7*6 / 8^3.
+        assert p_within == pytest.approx(8 * 7 * 6 / 8**3)
+
+    def test_large_k_conservative(self):
+        assert word_occupancy_probs(5, 4, 1) == (0.0, 1.0)
+
+
+class TestSchemeOutcomes:
+    def test_secded_single_flip_corrected(self):
+        assert secded_outcomes(1, 8) == (1.0, 0.0, 0.0)
+
+    def test_secded_never_silent(self):
+        for k in range(5):
+            assert secded_outcomes(k, 8)[2] == 0.0
+
+    def test_cop4_double_flip_split(self):
+        corrected, detected, silent = cop_block_outcomes(2)
+        assert corrected == 0.0
+        assert detected == pytest.approx(127 / 511)
+        assert silent == pytest.approx(1 - 127 / 511)
+
+    def test_cop8_double_flip_mostly_corrected(self):
+        corrected, detected, silent = cop_block_outcomes(
+            2, COPConfig.eight_byte()
+        )
+        assert silent == 0.0
+        assert corrected > 0.8
+
+
+class TestConsumedFailure:
+    RATE = 1e-12  # per bit-ns: large enough to see structure
+
+    def test_probabilities_normalise(self):
+        for scheme in ("unprotected", "secded", "cop"):
+            out = consumed_failure_probability(
+                self.RATE, 512, 1e9, scheme
+            )
+            total = out.clean + out.corrected + out.detected + out.silent
+            assert total == pytest.approx(1.0)
+
+    def test_unprotected_silent_mass(self):
+        out = consumed_failure_probability(self.RATE, 512, 1e9, "unprotected")
+        mean = self.RATE * 512 * 1e9
+        assert out.silent == pytest.approx(1 - math.exp(-mean), rel=1e-6)
+
+    def test_ordering_of_schemes(self):
+        unprot = consumed_failure_probability(self.RATE, 512, 1e9, "unprotected")
+        cop = consumed_failure_probability(self.RATE, 512, 1e9, "cop")
+        secded = consumed_failure_probability(
+            self.RATE, 512, 1e9, "secded", words=[72] * 8
+        )
+        assert cop.silent < unprot.silent
+        assert secded.survives >= cop.survives  # COP leaks the 2-word case
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            consumed_failure_probability(self.RATE, 512, 1.0, "nope")
+
+    def test_outcome_validation(self):
+        with pytest.raises(ValueError):
+            OutcomeProbabilities(0.5, 0.5, 0.5, 0.5)
+
+    def test_cross_validates_against_injector(self):
+        """Double-flip detected/silent split vs Monte-Carlo injection."""
+        import random
+
+        from repro.core.controller import ProtectedMemory, ProtectionMode
+        from repro.reliability.injection import FaultInjector
+
+        memory = ProtectedMemory(ProtectionMode.COP)
+        golden = {}
+        block = bytes(64)  # compressible: all trials hit compressed blocks
+        for i in range(50):
+            memory.write(i * 64, block)
+            golden[i * 64] = block
+        injector = FaultInjector(memory, golden, seed=5)
+        stats = injector.run_campaign(600, flips=2)
+        _, detected_model, silent_model = cop_block_outcomes(2)
+        assert stats.detected / stats.trials == pytest.approx(
+            detected_model, abs=0.06
+        )
+        assert stats.silent / stats.trials == pytest.approx(
+            silent_model, abs=0.06
+        )

@@ -1,0 +1,106 @@
+"""Unit and property tests for MSB compression."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+
+from strategies import msb_blocks, raw_blocks
+from repro._bits import Bits
+from repro.compression.base import payload_budget
+from repro.compression.msb import MSBCompressor
+
+BUDGET4 = payload_budget(4)
+BUDGET8 = payload_budget(8)
+
+
+class TestConstruction:
+    def test_payload_sizes_match_paper(self):
+        # 5-bit comparison frees 35 bits: 64 + 7*59 = 477 <= 478.
+        assert MSBCompressor(5, True).compressed_bits == 477
+        # 10-bit comparison for the 8-byte target: 64 + 7*54 = 442 <= 446.
+        assert MSBCompressor(10, True).compressed_bits == 442
+
+    def test_rejects_bad_compare_bits(self):
+        with pytest.raises(ValueError):
+            MSBCompressor(0)
+        with pytest.raises(ValueError):
+            MSBCompressor(64)
+
+    def test_field_position(self):
+        assert MSBCompressor(5, shifted=False).field_start == 59
+        assert MSBCompressor(5, shifted=True).field_start == 58
+
+
+class TestCompress:
+    def test_matching_msbs_compress(self):
+        block = struct.pack("<8Q", *[0x1F00_0000_0000_0000 + i for i in range(8)])
+        scheme = MSBCompressor(5, shifted=False)
+        payload = scheme.compress(block, BUDGET4)
+        assert payload is not None
+        assert payload.nbits == 477
+        assert scheme.decompress(payload) == block
+
+    def test_differing_msbs_do_not_compress(self):
+        words = [0x1F00_0000_0000_0000] * 7 + [0xE000_0000_0000_0000]
+        block = struct.pack("<8Q", *words)
+        assert MSBCompressor(5, shifted=False).compress(block, BUDGET4) is None
+
+    def test_shifted_ignores_sign_bit(self):
+        # Same exponent field, mixed sign bits: only shifted compresses.
+        words = []
+        for i in range(8):
+            word = (0b01111 << 58) | i
+            if i % 2:
+                word |= 1 << 63
+            words.append(word)
+        block = struct.pack("<8Q", *words)
+        assert MSBCompressor(5, shifted=False).compress(block, BUDGET4) is None
+        shifted = MSBCompressor(5, shifted=True)
+        payload = shifted.compress(block, BUDGET4)
+        assert payload is not None
+        assert shifted.decompress(payload) == block
+
+    def test_mixed_sign_doubles_compress_shifted(self):
+        values = [1.5, -1.25, 1.75, -1.125, 1.0625, -1.5, 1.25, -1.0]
+        block = struct.pack("<8d", *values)
+        assert MSBCompressor(5, shifted=True).compress(block, BUDGET4)
+        assert MSBCompressor(5, shifted=False).compress(block, BUDGET4) is None
+
+    def test_budget_enforced(self):
+        block = bytes(64)
+        assert MSBCompressor(5).compress(block, 476) is None
+        assert MSBCompressor(5).compress(block, 477) is not None
+
+    def test_block_length_validated(self):
+        with pytest.raises(ValueError):
+            MSBCompressor(5).compress(b"\x00" * 63, BUDGET4)
+
+
+class TestDecompress:
+    def test_rejects_short_payload(self):
+        with pytest.raises(ValueError):
+            MSBCompressor(5).decompress(Bits(0, 100))
+
+    def test_tolerates_trailing_padding(self):
+        scheme = MSBCompressor(5, True)
+        block = bytes(64)
+        payload = scheme.compress(block, BUDGET4)
+        padded = Bits(payload.value, payload.nbits + 3)
+        assert scheme.decompress(padded) == block
+
+    @given(block=msb_blocks())
+    @settings(max_examples=80)
+    def test_roundtrip_property(self, block):
+        scheme = MSBCompressor(5, shifted=True)
+        payload = scheme.compress(block, BUDGET4)
+        assert payload is not None
+        assert scheme.decompress(payload) == block
+
+    @given(block=raw_blocks)
+    @settings(max_examples=80)
+    def test_roundtrip_whenever_compressible(self, block):
+        for scheme in (MSBCompressor(5, True), MSBCompressor(10, True)):
+            payload = scheme.compress(block, BUDGET4)
+            if payload is not None:
+                assert scheme.decompress(payload) == block

@@ -1,0 +1,124 @@
+"""Tests for the OS-side ECC region page allocator."""
+
+import pytest
+
+from repro.core.osalloc import EccRegionAllocator
+
+
+def make(pages=100, headroom=10):
+    return EccRegionAllocator(
+        capacity_bytes=pages * 4096, headroom_pages=headroom
+    )
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EccRegionAllocator(capacity_bytes=4097)
+        with pytest.raises(ValueError):
+            EccRegionAllocator(capacity_bytes=0)
+        with pytest.raises(ValueError):
+            EccRegionAllocator(capacity_bytes=4096, headroom_pages=-1)
+
+    def test_headroom_clamped_to_capacity(self):
+        allocator = EccRegionAllocator(
+            capacity_bytes=2 * 4096, headroom_pages=100
+        )
+        assert allocator.headroom_pages == 2
+
+
+class TestAppAllocation:
+    def test_pages_handed_bottom_up(self):
+        allocator = make()
+        assert [allocator.allocate_app_page() for _ in range(3)] == [0, 1, 2]
+
+    def test_exhaustion_returns_none(self):
+        allocator = make(pages=2, headroom=0)
+        assert allocator.allocate_app_page() == 0
+        assert allocator.allocate_app_page() == 1
+        assert allocator.allocate_app_page() is None
+
+    def test_headroom_granted_only_near_capacity(self):
+        """The app *can* use the headroom — the OS just prefers not to;
+        once nothing else is free the pages are granted."""
+        allocator = make(pages=10, headroom=3)
+        grants = [allocator.allocate_app_page() for _ in range(10)]
+        assert grants == list(range(10))
+        assert allocator.near_capacity
+
+    def test_free_app_pages(self):
+        allocator = make()
+        for _ in range(5):
+            allocator.allocate_app_page()
+        allocator.free_app_pages(3)
+        assert allocator.plan().app_pages == 2
+        with pytest.raises(ValueError):
+            allocator.free_app_pages(5)
+
+
+class TestRegionGrowth:
+    def test_region_grows_from_the_top(self):
+        allocator = make(pages=100)
+        assert allocator.grow_region(4)
+        plan = allocator.plan()
+        assert plan.region_pages == 4
+        assert plan.region_base_page == 96
+
+    def test_growth_blocked_when_app_owns_space(self):
+        allocator = make(pages=10, headroom=0)
+        for _ in range(9):
+            allocator.allocate_app_page()
+        assert allocator.grow_region(1)
+        assert not allocator.grow_region(1)
+
+    def test_shrink(self):
+        allocator = make()
+        allocator.grow_region(5)
+        allocator.shrink_region(2)
+        assert allocator.plan().region_pages == 3
+        with pytest.raises(ValueError):
+            allocator.shrink_region(10)
+
+    def test_ensure_region_bytes(self):
+        allocator = make()
+        assert allocator.ensure_region_bytes(3 * 4096 + 1)
+        assert allocator.plan().region_pages == 4
+        assert allocator.ensure_region_bytes(4096)  # already covered
+        assert allocator.plan().region_pages == 4
+
+    def test_grow_validation(self):
+        with pytest.raises(ValueError):
+            make().grow_region(0)
+
+
+class TestInterplay:
+    def test_near_capacity_flag(self):
+        allocator = make(pages=20, headroom=5)
+        assert not allocator.near_capacity
+        for _ in range(15):
+            allocator.allocate_app_page()
+        assert allocator.near_capacity
+
+    def test_free_pages_accounting(self):
+        allocator = make(pages=50, headroom=5)
+        for _ in range(10):
+            allocator.allocate_app_page()
+        allocator.grow_region(7)
+        plan = allocator.plan()
+        assert plan.free_pages == 50 - 10 - 7
+
+    def test_typical_coper_lifecycle(self):
+        """Fill memory, grow the region on demand, shrink on reclaim."""
+        allocator = make(pages=1000, headroom=32)
+        from repro.core.coper import ECCRegion
+
+        # 5000 incompressible blocks worth of entries.
+        needed = ECCRegion.region_bytes(5000)
+        assert allocator.ensure_region_bytes(needed)
+        while not allocator.near_capacity:
+            if allocator.allocate_app_page() is None:
+                break
+        # Compressibility improves: the region shrinks, pages come back.
+        before = allocator.plan().free_pages
+        allocator.shrink_region(allocator.plan().region_pages)
+        assert allocator.plan().free_pages > before

@@ -1,0 +1,137 @@
+"""Tests for the Reed-Solomon codes used by COP-chipkill."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.reed_solomon import ReedSolomon
+
+symbols8 = st.lists(
+    st.integers(min_value=0, max_value=255), min_size=8, max_size=8
+)
+
+
+@pytest.fixture(scope="module")
+def rs():
+    return ReedSolomon(10, 8)
+
+
+class TestConstruction:
+    def test_geometry(self, rs):
+        assert (rs.n, rs.k, rs.t) == (10, 8, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReedSolomon(10, 10)
+        with pytest.raises(ValueError):
+            ReedSolomon(300, 8)
+        with pytest.raises(ValueError):
+            ReedSolomon(11, 8)  # odd number of check symbols
+
+    def test_encode_validates_input(self, rs):
+        with pytest.raises(ValueError):
+            rs.encode([0] * 7)
+        with pytest.raises(ValueError):
+            rs.encode([300] + [0] * 7)
+
+    def test_syndromes_validate_length(self, rs):
+        with pytest.raises(ValueError):
+            rs.syndromes([0] * 9)
+
+
+class TestSingleCorrection:
+    @given(data=symbols8)
+    @settings(max_examples=60)
+    def test_clean_roundtrip(self, rs, data):
+        word = rs.encode(data)
+        assert rs.is_codeword(word)
+        result = rs.decode(word)
+        assert result.ok and list(result.data) == data
+
+    def test_every_position_every_trial(self, rs):
+        rng = random.Random(1)
+        for _ in range(30):
+            data = [rng.randrange(256) for _ in range(8)]
+            word = rs.encode(data)
+            for position in range(10):
+                bad = word[:]
+                bad[position] ^= rng.randrange(1, 256)
+                result = rs.decode(bad)
+                assert result.ok and list(result.data) == data
+                assert result.corrected_symbols == 1
+
+    def test_double_errors_mostly_detected(self, rs):
+        """d = 3 cannot guarantee double detection; most are flagged."""
+        rng = random.Random(2)
+        detected = miscorrected = 0
+        for _ in range(300):
+            data = [rng.randrange(256) for _ in range(8)]
+            word = rs.encode(data)
+            a, b = rng.sample(range(10), 2)
+            word[a] ^= rng.randrange(1, 256)
+            word[b] ^= rng.randrange(1, 256)
+            result = rs.decode(word)
+            if result.detected:
+                detected += 1
+            elif list(result.data) != data:
+                miscorrected += 1
+        assert detected > 250
+        assert miscorrected < 30
+
+
+class TestErasure:
+    def test_erasure_recovers_known_position(self, rs):
+        rng = random.Random(3)
+        for _ in range(50):
+            data = [rng.randrange(256) for _ in range(8)]
+            word = rs.encode(data)
+            position = rng.randrange(10)
+            word[position] ^= rng.randrange(1, 256)
+            result = rs.decode_erasure(word, position)
+            assert result.ok and list(result.data) == data
+
+    def test_erasure_clean_word(self, rs):
+        data = list(range(8))
+        assert rs.decode_erasure(rs.encode(data), 4).data == tuple(data)
+
+    def test_erasure_wrong_position_detected(self, rs):
+        rng = random.Random(4)
+        data = [rng.randrange(256) for _ in range(8)]
+        word = rs.encode(data)
+        word[2] ^= 0x55
+        result = rs.decode_erasure(word, 7)  # error is actually at 2
+        assert result.detected or tuple(result.data) == tuple(data)
+
+
+class TestDoubleCorrection:
+    """RS(12,8) with t = 2 — exercises Berlekamp-Massey/Chien/Forney."""
+
+    @pytest.fixture(scope="class")
+    def rs2(self):
+        return ReedSolomon(12, 8)
+
+    def test_two_symbol_errors_corrected(self, rs2):
+        rng = random.Random(5)
+        for _ in range(120):
+            data = [rng.randrange(256) for _ in range(8)]
+            word = rs2.encode(data)
+            for position in rng.sample(range(12), 2):
+                word[position] ^= rng.randrange(1, 256)
+            result = rs2.decode(word)
+            assert result.ok and list(result.data) == data
+            assert result.corrected_symbols == 2
+
+    def test_three_errors_not_silently_accepted_often(self, rs2):
+        rng = random.Random(6)
+        silent = 0
+        for _ in range(150):
+            data = [rng.randrange(256) for _ in range(8)]
+            word = rs2.encode(data)
+            for position in rng.sample(range(12), 3):
+                word[position] ^= rng.randrange(1, 256)
+            result = rs2.decode(word)
+            if result.ok and list(result.data) != data:
+                silent += 1
+        assert silent < 15

@@ -1,0 +1,148 @@
+"""Unit and property tests for the run-length encoder."""
+
+import pytest
+from hypothesis import given, settings
+
+from strategies import raw_blocks, rle_blocks
+from repro._bits import BitReader, Bits
+from repro.compression.base import payload_budget
+from repro.compression.rle import RLECompressor, Run
+
+BUDGET4 = payload_budget(4)
+
+
+class TestRun:
+    def test_freed_bits(self):
+        assert Run(0, 2, False).freed_bits == 9
+        assert Run(0, 3, True).freed_bits == 17
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Run(1, 2, False)  # odd offset
+        with pytest.raises(ValueError):
+            Run(0, 4, False)  # bad length
+        with pytest.raises(ValueError):
+            Run(64, 2, False)  # out of range
+
+    def test_equality(self):
+        assert Run(2, 3, True) == Run(2, 3, True)
+        assert Run(2, 3, True) != Run(2, 2, True)
+
+
+class TestFindRuns:
+    def test_prefers_three_byte_runs(self):
+        block = bytearray(b"\xaa" * 64)
+        block[0:3] = b"\x00\x00\x00"
+        block[10:13] = b"\xff\xff\xff"
+        runs = RLECompressor(34).find_runs(bytes(block))
+        assert runs == [Run(0, 3, False), Run(10, 3, True)]
+
+    def test_stops_at_threshold(self):
+        # Plenty of runs available, but 2 x 17 = 34 suffices.
+        block = bytes(64)
+        runs = RLECompressor(34).find_runs(block)
+        assert sum(r.freed_bits for r in runs) >= 34
+        assert sum(r.freed_bits for r in runs[:-1]) < 34
+
+    def test_insufficient_runs_returns_empty(self):
+        block = bytearray(range(1, 65))
+        assert RLECompressor(34).find_runs(bytes(block)) == []
+
+    def test_runs_start_on_even_offsets(self):
+        # Zeros at odd offsets 1..3 leave only a 2-byte run at offset 2.
+        block = bytearray(b"\xaa" * 64)
+        block[1:4] = b"\x00\x00\x00"
+        runs = RLECompressor(34).find_runs(bytes(block))
+        assert all(r.offset % 2 == 0 for r in runs)
+
+    def test_non_overlapping(self):
+        block = bytes(64)
+        runs = RLECompressor(100).find_runs(block)
+        end = -1
+        for run in runs:
+            assert run.offset > end
+            end = run.offset + run.length - 1
+
+
+class TestRoundtrip:
+    def test_exact_threshold_block(self):
+        """Two 3-byte runs free exactly 34 bits."""
+        block = bytearray(b"\x5a" * 64)
+        block[4:7] = b"\x00\x00\x00"
+        block[20:23] = b"\xff\xff\xff"
+        scheme = RLECompressor(34)
+        payload = scheme.compress(bytes(block), BUDGET4)
+        assert payload is not None
+        assert payload.nbits == 512 - 34
+        assert scheme.decompress(payload) == bytes(block)
+
+    def test_four_two_byte_runs(self):
+        block = bytearray(b"\x5a" * 64)
+        for offset in (0, 8, 16, 24):
+            block[offset : offset + 2] = b"\x00\x00"
+            block[offset + 2] = 0xAA  # stop the run at 2 bytes
+        scheme = RLECompressor(34)
+        payload = scheme.compress(bytes(block), BUDGET4)
+        assert payload is not None
+        assert scheme.decompress(payload) == bytes(block)
+
+    def test_incompressible_returns_none(self):
+        assert RLECompressor(34).compress(bytes(range(1, 65)), BUDGET4) is None
+
+    def test_metadata_replay_matches_encoder(self):
+        """The decoder's greedy stop rule sees exactly the encoded runs."""
+        block = bytearray(b"\x11" * 64)
+        block[0:3] = bytes(3)
+        block[6:9] = b"\xff" * 3
+        block[12:15] = bytes(3)
+        scheme = RLECompressor(34)
+        encoded_runs = scheme.find_runs(bytes(block))
+        payload = scheme.compress(bytes(block), BUDGET4)
+        decoded_runs = scheme.read_metadata(BitReader(payload))
+        assert decoded_runs == encoded_runs
+
+    def test_decompress_rejects_overlapping_runs(self):
+        # Hand-craft metadata describing two overlapping runs.
+        from repro._bits import BitWriter
+
+        writer = BitWriter()
+        for offset in (0, 0):  # same offset twice
+            writer.write(0, 1)
+            writer.write(1, 1)  # 3-byte run (17 bits freed each)
+            writer.write(offset, 5)
+        writer.write(0, 58 * 8)  # residual bytes
+        with pytest.raises(ValueError):
+            RLECompressor(34).decompress(writer.getbits())
+
+    def test_eight_byte_threshold(self):
+        scheme = RLECompressor(66)
+        block = bytes(64)  # all zeros: plenty of runs
+        payload = scheme.compress(block, payload_budget(8))
+        assert payload is not None
+        assert scheme.decompress(payload) == block
+
+    @given(block=rle_blocks())
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, block):
+        scheme = RLECompressor(34)
+        payload = scheme.compress(block, BUDGET4)
+        assert payload is not None
+        assert payload.nbits <= BUDGET4
+        assert scheme.decompress(payload) == block
+
+    @given(block=raw_blocks)
+    @settings(max_examples=100)
+    def test_roundtrip_whenever_compressible(self, block):
+        scheme = RLECompressor(34)
+        payload = scheme.compress(block, BUDGET4)
+        if payload is not None:
+            assert scheme.decompress(payload) == block
+
+    @given(block=raw_blocks)
+    @settings(max_examples=60)
+    def test_padding_tolerance(self, block):
+        scheme = RLECompressor(34)
+        payload = scheme.compress(block, BUDGET4)
+        if payload is not None:
+            padded = Bits(payload.value, BUDGET4)
+            assert scheme.decompress(padded) == block

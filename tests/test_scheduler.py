@@ -1,0 +1,141 @@
+"""Tests for the memory-controller front end (queues + policies)."""
+
+import random
+
+import pytest
+
+from repro.memory.address import MappedAddress
+from repro.memory.dram import DRAMSystem
+from repro.memory.scheduler import MemRequest, MemoryScheduler, SchedulingPolicy
+
+
+def addr_at(dram, row, col, bank=0):
+    return dram.mapper.compose(
+        MappedAddress(channel=0, rank=0, bank=bank, row=row, col=col)
+    )
+
+
+class TestValidation:
+    def test_watermark_validation(self):
+        with pytest.raises(ValueError):
+            MemoryScheduler(DRAMSystem(), drain_high=0.2, drain_low=0.5)
+
+    def test_latency_before_service_raises(self):
+        request = MemRequest(0, False, 0.0)
+        with pytest.raises(ValueError):
+            request.latency_ns
+
+
+class TestServiceLoop:
+    def test_drains_everything(self):
+        dram = DRAMSystem()
+        scheduler = MemoryScheduler(dram)
+        for i in range(20):
+            scheduler.submit(MemRequest(i * 64, i % 3 == 0, float(i)))
+        serviced = scheduler.run_until_empty()
+        assert len(serviced) == 20
+        assert scheduler.pending == 0
+        assert all(r.timing is not None for r in serviced)
+
+    def test_empty_queue_returns_none(self):
+        assert MemoryScheduler(DRAMSystem()).service_one(0.0) is None
+
+    def test_reads_prioritised_over_writes(self):
+        dram = DRAMSystem()
+        scheduler = MemoryScheduler(dram, write_queue_depth=32)
+        scheduler.submit(MemRequest(0, True, 0.0))
+        scheduler.submit(MemRequest(64, False, 0.0))
+        first = scheduler.service_one(0.0)
+        assert not first.is_write
+
+    def test_write_drain_engages_at_high_watermark(self):
+        dram = DRAMSystem()
+        scheduler = MemoryScheduler(
+            dram, write_queue_depth=8, drain_high=0.5, drain_low=0.125
+        )
+        for i in range(4):  # reach the high watermark (4 of 8)
+            scheduler.submit(MemRequest(i * 64, True, 0.0))
+        scheduler.submit(MemRequest(999 * 64, False, 0.0))
+        first = scheduler.service_one(0.0)
+        assert first.is_write  # draining preempts the read
+        assert scheduler.stats.drain_entries == 1
+
+    def test_drain_stops_at_low_watermark(self):
+        dram = DRAMSystem()
+        scheduler = MemoryScheduler(
+            dram, write_queue_depth=4, drain_high=0.5, drain_low=0.25
+        )
+        for i in range(2):
+            scheduler.submit(MemRequest(i * 64, True, 0.0))
+        scheduler.submit(MemRequest(10 * 64, False, 0.0))
+        kinds = [scheduler.service_one(0.0).is_write for _ in range(3)]
+        # Drains down to 1 write (low watermark), then serves the read.
+        assert kinds[0] is True
+        assert False in kinds
+
+
+class TestPolicies:
+    def _stream(self, dram, rng):
+        """A stream alternating between two rows of one bank."""
+        requests = []
+        for i in range(30):
+            row = rng.choice([3, 9])
+            requests.append(
+                MemRequest(addr_at(dram, row, i % 16), False, float(i))
+            )
+        return requests
+
+    def test_frfcfs_beats_fcfs_on_row_hits(self):
+        rng = random.Random(7)
+        stream = None
+        results = {}
+        for policy in SchedulingPolicy:
+            dram = DRAMSystem()
+            scheduler = MemoryScheduler(dram, policy=policy)
+            local_rng = random.Random(7)
+            for request in self._stream(dram, local_rng):
+                scheduler.submit(
+                    MemRequest(request.addr, request.is_write, request.arrival_ns)
+                )
+            scheduler.run_until_empty()
+            results[policy] = dram.stats.row_hit_rate
+        assert results[SchedulingPolicy.FRFCFS] > results[SchedulingPolicy.FCFS]
+
+    def test_fcfs_preserves_arrival_order(self):
+        dram = DRAMSystem()
+        scheduler = MemoryScheduler(dram, policy=SchedulingPolicy.FCFS)
+        for i in range(10):
+            scheduler.submit(MemRequest(i * 4096, False, float(i)))
+        serviced = scheduler.run_until_empty()
+        arrivals = [r.arrival_ns for r in serviced]
+        assert arrivals == sorted(arrivals)
+
+    def test_stats_latency_accounting(self):
+        dram = DRAMSystem()
+        scheduler = MemoryScheduler(dram)
+        scheduler.submit(MemRequest(0, False, 0.0))
+        scheduler.run_until_empty()
+        assert scheduler.stats.serviced_reads == 1
+        assert scheduler.stats.mean_read_latency_ns > 0
+
+
+class TestRefreshInteraction:
+    def test_command_delayed_past_refresh_window(self):
+        dram = DRAMSystem()
+        timing = dram.config.timing
+        window_start = timing.trefi_ns - timing.trfc_ns
+        result = dram.access(0, False, window_start + 1.0)
+        assert result.start_ns >= timing.trefi_ns
+
+    def test_refresh_disabled(self):
+        from dataclasses import replace
+
+        from repro.memory.dram import DDR3_1600, DRAMConfig
+
+        config = DRAMConfig(
+            geometry=DDR3_1600.geometry,
+            timing=replace(DDR3_1600.timing, trefi_ns=0.0),
+        )
+        dram = DRAMSystem(config)
+        t = dram.access(0, False, 7700.0)
+        assert t.start_ns == pytest.approx(7700.0)

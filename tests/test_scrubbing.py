@@ -1,0 +1,97 @@
+"""Tests for the patrol-scrubbing extension."""
+
+import pytest
+
+from repro.reliability.scrubbing import (
+    ScrubPlan,
+    scrub_interval_for_target,
+    scrubbed_failure_probability,
+)
+
+RATE = 1e-12  # per bit-ns, exaggerated so effects are visible
+BITS = 512
+RESIDENCY = 4e9  # 4 seconds
+
+
+class TestPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScrubPlan(interval_ns=0.0)
+
+    def test_scrub_rate(self):
+        plan = ScrubPlan(interval_ns=1e9, memory_bytes=64 * 1000)
+        assert plan.scrub_reads_per_second == pytest.approx(1000.0)
+
+
+class TestScrubbedOutcomes:
+    def test_probabilities_normalise(self):
+        plan = ScrubPlan(interval_ns=1e9)
+        for scheme in ("unprotected", "secded", "cop"):
+            out = scrubbed_failure_probability(
+                RATE, BITS, RESIDENCY, scheme, plan
+            )
+            total = out.clean + out.corrected + out.detected + out.silent
+            assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_scrubbing_helps_protected_schemes(self):
+        coarse = ScrubPlan(interval_ns=RESIDENCY)  # effectively none
+        fine = ScrubPlan(interval_ns=RESIDENCY / 64)
+        without = scrubbed_failure_probability(
+            RATE, BITS, RESIDENCY, "cop", coarse
+        )
+        with_scrub = scrubbed_failure_probability(
+            RATE, BITS, RESIDENCY, "cop", fine
+        )
+        assert with_scrub.silent < without.silent
+
+    def test_scrubbing_cannot_help_unprotected_memory(self):
+        """Scrub reads only help if something corrects the error."""
+        coarse = ScrubPlan(interval_ns=RESIDENCY)
+        fine = ScrubPlan(interval_ns=RESIDENCY / 64)
+        without = scrubbed_failure_probability(
+            RATE, BITS, RESIDENCY, "unprotected", coarse
+        )
+        with_scrub = scrubbed_failure_probability(
+            RATE, BITS, RESIDENCY, "unprotected", fine
+        )
+        assert with_scrub.silent == pytest.approx(without.silent, rel=1e-6)
+
+    def test_clean_probability_is_scrub_independent(self):
+        """P(no errors at all) does not depend on scrubbing."""
+        import math
+
+        for interval in (RESIDENCY, RESIDENCY / 10, RESIDENCY / 100):
+            out = scrubbed_failure_probability(
+                RATE, BITS, RESIDENCY, "cop", ScrubPlan(interval_ns=interval)
+            )
+            assert out.clean == pytest.approx(
+                math.exp(-RATE * BITS * RESIDENCY)
+            )
+
+    def test_zero_residency(self):
+        out = scrubbed_failure_probability(
+            RATE, BITS, 0.0, "cop", ScrubPlan(interval_ns=1e9)
+        )
+        assert out.clean == pytest.approx(1.0)
+
+
+class TestIntervalPlanning:
+    def test_finds_meeting_interval(self):
+        no_scrub = scrubbed_failure_probability(
+            RATE, BITS, RESIDENCY, "cop", ScrubPlan(interval_ns=RESIDENCY)
+        )
+        target = no_scrub.silent / 10
+        interval = scrub_interval_for_target(
+            RATE, BITS, RESIDENCY, "cop", target
+        )
+        achieved = scrubbed_failure_probability(
+            RATE, BITS, RESIDENCY, "cop", ScrubPlan(interval_ns=interval)
+        )
+        assert achieved.silent <= target
+        assert interval < RESIDENCY
+
+    def test_already_met_returns_residency(self):
+        interval = scrub_interval_for_target(
+            RATE, BITS, RESIDENCY, "cop", target_silent=1.0
+        )
+        assert interval == pytest.approx(RESIDENCY)

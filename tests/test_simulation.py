@@ -1,0 +1,180 @@
+"""Tests for the interval performance simulator."""
+
+import pytest
+
+from repro.core.controller import ProtectedMemory, ProtectionMode
+from repro.reliability.parma import VulnerabilityTracker
+from repro.simulation.config import SCALED_SYSTEM, TABLE1_SYSTEM, SystemConfig
+from repro.simulation.system import MultiCoreSystem, PerfResult
+from repro.workloads.blocks import BlockSource
+from repro.workloads.profiles import PROFILES
+from repro.workloads.tracegen import TraceGenerator
+
+
+def build_system(
+    mode=ProtectionMode.COP,
+    bench="gcc",
+    cores=2,
+    epochs=150,
+    seed=5,
+    tracker=None,
+    config=None,
+):
+    profile = PROFILES[bench]
+    config = config or SystemConfig(llc_bytes=128 << 10, footprint_divider=16)
+    memory = ProtectedMemory(mode)
+    traces, sources, ipcs = [], [], []
+    footprint = max(
+        1024, profile.footprint_mb * (1 << 20) // 64 // config.footprint_divider
+    )
+    for core in range(cores):
+        generator = TraceGenerator(
+            profile,
+            seed=seed + core,
+            footprint_blocks=footprint,
+            base_addr=core << 40,
+        )
+        traces.append(generator.epochs(epochs))
+        sources.append(BlockSource(profile, seed=seed + core))
+        ipcs.append(profile.perfect_ipc)
+    return MultiCoreSystem(memory, traces, sources, ipcs, config, tracker=tracker)
+
+
+class TestConfigs:
+    def test_table1_matches_paper(self):
+        assert TABLE1_SYSTEM.cpu_ghz == 3.2
+        assert TABLE1_SYSTEM.cores == 4
+        assert TABLE1_SYSTEM.llc_bytes == 4 << 20
+        assert TABLE1_SYSTEM.llc_ways == 16
+
+    def test_scaled_preserves_ratio_knob(self):
+        assert SCALED_SYSTEM.footprint_divider == 8
+        assert SCALED_SYSTEM.llc_bytes == TABLE1_SYSTEM.llc_bytes // 8
+
+    def test_cycle_conversion(self):
+        assert TABLE1_SYSTEM.cycle_ns == pytest.approx(1 / 3.2)
+        assert TABLE1_SYSTEM.cycles(10.0) == pytest.approx(32.0)
+
+
+class TestRunMechanics:
+    def test_alignment_validation(self):
+        with pytest.raises(ValueError):
+            MultiCoreSystem(
+                ProtectedMemory(ProtectionMode.COP),
+                [iter(())],
+                [],
+                [],
+                SCALED_SYSTEM,
+            )
+
+    def test_deterministic(self):
+        a = build_system().run()
+        b = build_system().run()
+        assert a == b
+
+    def test_perf_result_accounting(self):
+        result = build_system().run()
+        assert isinstance(result, PerfResult)
+        assert result.instructions > 0
+        assert result.total_cycles > 0
+        assert 0 < result.ipc <= max(result.core_ipcs) * len(result.cores)
+        for core in result.cores:
+            assert core.epochs == 150
+            assert core.stall_ns >= 0.0
+
+    def test_ipc_bounded_by_perfect_ipc(self):
+        result = build_system().run()
+        for core_ipc in result.core_ipcs:
+            assert core_ipc <= PROFILES["gcc"].perfect_ipc + 1e-9
+
+    def test_llc_and_dram_activity(self):
+        system = build_system()
+        result = system.run()
+        assert result.llc_misses > 0
+        assert result.dram_reads >= result.llc_misses * 0 and result.dram_reads > 0
+        assert 0.0 <= result.row_hit_rate <= 1.0
+
+
+class TestModeOrdering:
+    """The Fig. 11 shape must hold on any workload."""
+
+    @pytest.fixture(scope="class")
+    def ipcs(self):
+        out = {}
+        for mode in (
+            ProtectionMode.UNPROTECTED,
+            ProtectionMode.COP,
+            ProtectionMode.COP_ER,
+            ProtectionMode.ECC_REGION,
+        ):
+            out[mode] = build_system(mode=mode, bench="mcf", epochs=250).run().ipc
+        return out
+
+    def test_unprotected_is_fastest(self, ipcs):
+        fastest = max(ipcs.values())
+        assert ipcs[ProtectionMode.UNPROTECTED] == pytest.approx(fastest)
+
+    def test_cop_costs_only_decompress_latency(self, ipcs):
+        ratio = ipcs[ProtectionMode.COP] / ipcs[ProtectionMode.UNPROTECTED]
+        assert 0.9 < ratio <= 1.0 + 1e-9
+
+    def test_ecc_region_is_slowest(self, ipcs):
+        assert ipcs[ProtectionMode.ECC_REGION] == pytest.approx(
+            min(ipcs.values())
+        )
+
+    def test_coper_beats_ecc_region(self, ipcs):
+        assert ipcs[ProtectionMode.COP_ER] > ipcs[ProtectionMode.ECC_REGION]
+
+
+class TestDataIntegrity:
+    def test_llc_contents_match_source_versions(self):
+        """Functional invariant: cached data equals the source's bytes."""
+        system = build_system(mode=ProtectionMode.COP_ER, epochs=200)
+        system.run()
+        for line in system.llc.resident_lines():
+            if system.memory.is_metadata_addr(line.addr):
+                continue  # ECC metadata lines hold placeholder bytes
+            core = line.addr >> 40
+            version = system._versions.get(line.addr, 0)
+            assert line.data == system._sources[core].block(line.addr, version)
+
+    def test_memory_contents_decode_to_source_data(self):
+        system = build_system(mode=ProtectionMode.COP, epochs=200)
+        system.run()
+        checked = 0
+        for addr in list(system.memory.contents)[:200]:
+            result = system.memory.read(addr)
+            core = addr >> 40
+            version = system._versions.get(addr, 0)
+            # A resident dirty LLC copy may be newer than DRAM; only
+            # blocks not dirty in the LLC must match the latest version.
+            line = system.llc.peek(addr)
+            if line is None or not line.dirty:
+                assert result.data == system._sources[core].block(addr, version)
+                checked += 1
+        assert checked > 0
+
+
+class TestVulnerabilityIntegration:
+    def test_tracker_sees_reads_and_writes(self):
+        tracker = VulnerabilityTracker()
+        build_system(mode=ProtectionMode.COP, tracker=tracker, epochs=200).run()
+        report = tracker.report()
+        assert report.reads_protected + report.reads_unprotected > 0
+        assert report.total_bit_ns > 0
+        assert 0.0 <= report.error_rate_reduction <= 1.0
+
+    def test_coper_protects_everything(self):
+        tracker = VulnerabilityTracker()
+        build_system(
+            mode=ProtectionMode.COP_ER, tracker=tracker, epochs=200
+        ).run()
+        assert tracker.report().error_rate_reduction == pytest.approx(1.0)
+
+    def test_unprotected_protects_nothing(self):
+        tracker = VulnerabilityTracker()
+        build_system(
+            mode=ProtectionMode.UNPROTECTED, tracker=tracker, epochs=200
+        ).run()
+        assert tracker.report().error_rate_reduction == 0.0

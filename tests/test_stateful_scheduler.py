@@ -1,0 +1,66 @@
+"""Stateful property test for the memory-controller front end."""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.memory.dram import DRAMSystem
+from repro.memory.scheduler import MemRequest, MemoryScheduler, SchedulingPolicy
+
+
+class SchedulerMachine(RuleBasedStateMachine):
+    """Random submit/service interleavings against conservation laws."""
+
+    def __init__(self):
+        super().__init__()
+        self.scheduler = MemoryScheduler(
+            DRAMSystem(),
+            policy=SchedulingPolicy.FRFCFS,
+            write_queue_depth=8,
+            drain_high=0.5,
+            drain_low=0.25,
+        )
+        self.submitted = 0
+        self.serviced = []
+        self.now = 0.0
+
+    @rule(
+        block=st.integers(min_value=0, max_value=4095),
+        is_write=st.booleans(),
+        gap=st.floats(min_value=0.0, max_value=50.0),
+    )
+    def submit(self, block, is_write, gap):
+        self.now += gap
+        self.scheduler.submit(MemRequest(block * 64, is_write, self.now))
+        self.submitted += 1
+
+    @rule()
+    def service(self):
+        request = self.scheduler.service_one(self.now)
+        if request is not None:
+            self.serviced.append(request)
+            self.now = max(self.now, request.timing.start_ns)
+
+    @invariant()
+    def conservation(self):
+        assert len(self.serviced) + self.scheduler.pending == self.submitted
+
+    @invariant()
+    def serviced_requests_have_sane_timing(self):
+        for request in self.serviced:
+            assert request.timing is not None
+            assert request.timing.complete_ns > request.timing.start_ns
+            assert request.timing.start_ns >= request.arrival_ns - 1e-9
+
+    @invariant()
+    def stats_match(self):
+        stats = self.scheduler.stats
+        assert stats.serviced_reads + stats.serviced_writes == len(
+            self.serviced
+        )
+
+
+TestSchedulerMachine = SchedulerMachine.TestCase
+TestSchedulerMachine.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)

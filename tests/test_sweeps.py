@@ -1,0 +1,54 @@
+"""Tests for the sensitivity-sweep harnesses."""
+
+import pytest
+
+from repro.experiments.common import Scale
+from repro.experiments.sweeps import fit_sweep, latency_sweep
+
+
+@pytest.fixture(autouse=True)
+def _results_to_tmp(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+
+
+class TestLatencySweep:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return latency_sweep(Scale.SMOKE)
+
+    def test_zero_latency_equals_unprotected_modulo_noise(self, table):
+        assert table.row("0 cycles")[0] == pytest.approx(1.0, abs=0.03)
+
+    def test_all_points_remain_near_one(self, table):
+        """The sweep's conclusion: even 16 cycles is in the noise floor
+        compared to hundreds of cycles of DRAM latency."""
+        for label, (value,) in table.rows:
+            assert value > 0.9, label
+
+    def test_rows_cover_the_sweep(self, table):
+        labels = [label for label, _ in table.rows]
+        assert labels == [
+            "0 cycles", "2 cycles", "4 cycles", "8 cycles", "16 cycles"
+        ]
+
+
+class TestFitSweep:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return fit_sweep(Scale.SMOKE)
+
+    def test_failures_scale_linearly_with_rate(self, table):
+        rows = dict(table.rows)
+        low = rows["1000 FIT/Mbit"]
+        high = rows["10000 FIT/Mbit"]
+        for a, b in zip(low, high):
+            if a > 0:
+                assert b / a == pytest.approx(10.0, rel=1e-6)
+
+    def test_protection_ordering_holds_at_every_rate(self, table):
+        for label, (unprot, cop, coper) in table.rows:
+            assert unprot >= cop >= coper >= 0.0, label
+
+    def test_coper_failures_vanish(self, table):
+        for _, (_, _, coper) in table.rows:
+            assert coper == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,63 @@
+"""Unit and property tests for text compression."""
+
+import pytest
+from hypothesis import given, settings
+
+from strategies import text_blocks
+from repro._bits import Bits
+from repro.compression.base import payload_budget
+from repro.compression.txt import TextCompressor
+
+
+class TestCompress:
+    def test_ascii_block_compresses(self):
+        block = (b"The quick brown fox jumps over the lazy dog AB" + bytes(18))
+        assert len(block) == 64
+        scheme = TextCompressor()
+        payload = scheme.compress(block, payload_budget(4))
+        assert payload is not None
+        assert payload.nbits == 448
+        assert scheme.decompress(payload) == block
+
+    def test_utf16_ascii_compresses(self):
+        text = "hello, memory protection".ljust(32)
+        block = text.encode("utf-16-le")
+        assert len(block) == 64
+        scheme = TextCompressor()
+        payload = scheme.compress(block, payload_budget(4))
+        assert payload is not None
+        assert scheme.decompress(payload) == block
+
+    def test_high_bit_byte_rejects(self):
+        block = bytearray(b"a" * 64)
+        block[17] = 0x80
+        assert TextCompressor().compress(bytes(block), payload_budget(4)) is None
+
+    def test_cannot_reach_8_byte_target(self):
+        """TXT frees only 64 bits: absent from Fig. 8's suite."""
+        block = b"a" * 64
+        assert TextCompressor().compress(block, payload_budget(8)) is None
+
+    def test_block_length_validated(self):
+        with pytest.raises(ValueError):
+            TextCompressor().compress(b"a" * 63, payload_budget(4))
+
+
+class TestDecompress:
+    def test_rejects_short_payload(self):
+        with pytest.raises(ValueError):
+            TextCompressor().decompress(Bits(0, 440))
+
+    def test_tolerates_padding(self):
+        scheme = TextCompressor()
+        block = b"x" * 64
+        payload = scheme.compress(block, payload_budget(4))
+        assert scheme.decompress(Bits(payload.value, 478)) == block
+
+    @given(block=text_blocks())
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, block):
+        scheme = TextCompressor()
+        payload = scheme.compress(block, payload_budget(4))
+        assert payload is not None
+        assert scheme.decompress(payload) == block

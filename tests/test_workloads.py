@@ -1,0 +1,211 @@
+"""Tests for the workload substrate: generators, profiles, sources, traces."""
+
+import random
+
+import pytest
+
+from repro.compression.base import payload_budget
+from repro.compression.combined import cop_combined_compressor, cop_scheme_suite
+from repro.workloads.blocks import BlockSource
+from repro.workloads.generators import COMPONENTS, generate_block
+from repro.workloads.profiles import (
+    FIG1_BENCHMARKS,
+    FIG4_BENCHMARKS,
+    MEMORY_INTENSIVE,
+    PROFILES,
+    profiles_in_suite,
+)
+from repro.workloads.tracegen import TraceGenerator
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", sorted(COMPONENTS))
+    def test_components_produce_64_bytes(self, name):
+        rng = random.Random(name)
+        for _ in range(5):
+            assert len(generate_block(name, rng)) == 64
+
+    def test_unknown_component_raises(self):
+        with pytest.raises(KeyError):
+            generate_block("nope", random.Random(0))
+
+    def test_ascii_text_is_ascii(self):
+        block = generate_block("ascii_text", random.Random(1))
+        assert all(b < 0x80 for b in block)
+
+    def test_zeros_is_zero(self):
+        assert generate_block("zeros", random.Random(1)) == bytes(64)
+
+    @pytest.mark.parametrize(
+        "component,scheme",
+        [
+            ("ascii_text", "TXT"),
+            ("utf16_text", "TXT"),
+            ("pointer64", "MSB"),
+            ("float64_mixed", "MSB"),
+            ("sparse64", "RLE"),
+            ("barely_rle", "RLE"),
+            ("libquantum_state", "RLE"),
+        ],
+    )
+    def test_archetypes_match_their_schemes(self, component, scheme):
+        """Each archetype exists to exercise a specific scheme."""
+        suite = cop_scheme_suite(4)
+        budget = payload_budget(4)
+        rng = random.Random(component)
+        hits = sum(
+            1
+            for _ in range(50)
+            if suite[scheme].compressible(generate_block(component, rng), budget)
+        )
+        assert hits >= 45, f"{component} should compress under {scheme}"
+
+    def test_random_bytes_incompressible(self):
+        combined = cop_combined_compressor(4)
+        rng = random.Random("noise")
+        hits = sum(
+            1
+            for _ in range(100)
+            if combined.compressible(generate_block("random_bytes", rng), 480)
+        )
+        assert hits == 0
+
+
+class TestProfiles:
+    def test_table2_benchmarks_have_profiles(self):
+        assert len(MEMORY_INTENSIVE) == 20
+        for name in MEMORY_INTENSIVE:
+            assert name in PROFILES
+
+    def test_fig1_and_fig4_lists(self):
+        assert set(FIG1_BENCHMARKS) <= set(PROFILES)
+        assert len(FIG4_BENCHMARKS) == 17
+        for name in FIG4_BENCHMARKS:
+            assert PROFILES[name].suite == "SPECfp 2006"
+
+    def test_weights_normalise(self):
+        for profile in PROFILES.values():
+            weights = profile.weights()
+            assert sum(weights.values()) == pytest.approx(1.0)
+            assert all(w > 0 for w in weights.values())
+
+    def test_mixtures_reference_known_components(self):
+        for profile in PROFILES.values():
+            for name, _ in profile.mixture:
+                assert name in COMPONENTS, f"{profile.name} uses {name}"
+
+    def test_suite_partition(self):
+        total = sum(
+            len(profiles_in_suite(s))
+            for s in ("SPECint 2006", "SPECfp 2006", "PARSEC")
+        )
+        assert total == len(PROFILES)
+
+    def test_access_statistics_sane(self):
+        for profile in PROFILES.values():
+            assert 0.3 <= profile.perfect_ipc <= 4.0
+            assert 0.1 <= profile.mpki <= 50.0
+            assert 0.0 <= profile.write_fraction <= 1.0
+            assert profile.mlp >= 1.0
+            assert 0.0 <= profile.locality <= 1.0
+
+
+class TestBlockSource:
+    def test_deterministic(self):
+        profile = PROFILES["gcc"]
+        a = BlockSource(profile, seed=5)
+        b = BlockSource(profile, seed=5)
+        for addr in (0, 64, 4096, 1 << 20):
+            assert a.block(addr) == b.block(addr)
+
+    def test_versions_differ(self):
+        source = BlockSource(PROFILES["gcc"], seed=5)
+        assert source.block(0, 0) != source.block(0, 1)
+
+    def test_page_granular_component_assignment(self):
+        source = BlockSource(PROFILES["mcf"], seed=5)
+        page_component = source.component_of(8192)
+        for offset in range(0, 4096, 64):
+            assert source.component_of(8192 + offset) == page_component
+
+    def test_mixture_fractions_emerge(self):
+        """Page assignment follows the profile's weights statistically."""
+        profile = PROFILES["mcf"]
+        source = BlockSource(profile, seed=5)
+        counts = {}
+        for page in range(3000):
+            name = source.component_of(page * 4096)
+            counts[name] = counts.get(name, 0) + 1
+        weights = profile.weights()
+        for name, weight in weights.items():
+            assert counts.get(name, 0) / 3000 == pytest.approx(weight, abs=0.05)
+
+    def test_unknown_component_in_profile_rejected(self):
+        from repro.workloads.profiles import BenchmarkProfile
+
+        bogus = BenchmarkProfile(
+            "bogus", "SPECint 2006", (("nope", 1.0),), 1.0, 1.0, 1, 0.3, 1.0, 0.5
+        )
+        with pytest.raises(KeyError):
+            BlockSource(bogus)
+
+
+class TestTraceGenerator:
+    def test_deterministic(self):
+        profile = PROFILES["mcf"]
+        a = list(TraceGenerator(profile, seed=3).epochs(50))
+        b = list(TraceGenerator(profile, seed=3).epochs(50))
+        assert a == b
+
+    def test_epoch_structure(self):
+        profile = PROFILES["lbm"]
+        for epoch in TraceGenerator(profile, seed=3).epochs(100):
+            assert epoch.instructions >= 1
+            assert len(epoch.accesses) >= 1
+            for access in epoch.accesses:
+                assert access.addr % 64 == 0
+
+    def test_footprint_respected(self):
+        generator = TraceGenerator(
+            PROFILES["mcf"], seed=1, footprint_blocks=100, base_addr=1 << 30
+        )
+        for epoch in generator.epochs(200):
+            for access in epoch.accesses:
+                offset = access.addr - (1 << 30)
+                assert 0 <= offset < 100 * 64
+
+    def test_group_size_tracks_mlp(self):
+        sizes = [
+            len(e.accesses)
+            for e in TraceGenerator(PROFILES["lbm"], seed=2).epochs(400)
+        ]
+        mean = sum(sizes) / len(sizes)
+        assert mean == pytest.approx(PROFILES["lbm"].mlp, rel=0.35)
+
+    def test_write_fraction_tracks_profile(self):
+        profile = PROFILES["lbm"]
+        accesses = [
+            a
+            for e in TraceGenerator(profile, seed=2).epochs(400)
+            for a in e.accesses
+        ]
+        stores = sum(1 for a in accesses if a.is_store)
+        assert stores / len(accesses) == pytest.approx(
+            profile.write_fraction, abs=0.08
+        )
+
+    def test_locality_produces_sequential_runs(self):
+        """High-locality traces mostly step to the next block."""
+        addrs = [
+            a.addr
+            for e in TraceGenerator(PROFILES["lbm"], seed=7).epochs(300)
+            for a in e.accesses
+        ]
+        sequential = sum(
+            1 for prev, cur in zip(addrs, addrs[1:]) if cur - prev == 64
+        )
+        assert sequential / len(addrs) > 0.5  # lbm locality is 0.9
+
+    def test_footprint_validation(self):
+        with pytest.raises(ValueError):
+            TraceGenerator(PROFILES["gcc"], footprint_blocks=0)
