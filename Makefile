@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench results report examples clean
+.PHONY: install test bench results report examples obs-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -22,6 +22,17 @@ report:
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+# One SMOKE-scale experiment with tracing on, then verify the artifacts:
+# the trace JSONL must parse and the embedded metrics snapshot must be
+# non-empty (see docs/observability.md).
+obs-smoke:
+	REPRO_RESULTS_DIR=/tmp/cop-obs-results PYTHONPATH=src \
+		$(PYTHON) -m repro.experiments.cli fig12 --scale smoke \
+		--trace /tmp/cop-obs-trace.jsonl --trace-sample 0.5
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli obs \
+		--metrics /tmp/cop-obs-results/fig12.json \
+		--trace-file /tmp/cop-obs-trace.jsonl --check
 
 clean:
 	rm -rf results .pytest_cache .hypothesis

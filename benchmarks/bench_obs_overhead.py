@@ -1,0 +1,145 @@
+"""Benchmark guard: observability must be (almost) free when off.
+
+Measures simulator throughput (epoch-trace misses serviced per second)
+in three configurations — observability off (the default), full metrics +
+sampled tracing, and full metrics + full tracing — and asserts:
+
+* the no-op instrumentation path costs < 5% of a run (measured by timing
+  the actual per-miss guard cost against the per-miss simulation cost,
+  which is robust to machine noise in a way run-vs-run wall deltas are
+  not, plus a generous wall-clock sanity bound between repeated runs),
+* enabling sampled tracing stays cheap relative to full tracing.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.controller import ProtectionMode
+from repro.experiments.common import Scale
+from repro.experiments.simruns import run_benchmark
+from repro.obs import NULL_OBS, Observability
+
+_BENCH = "lbm"
+_MODE = ProtectionMode.COP
+_SCALE = Scale.SMOKE
+_CORES = 2
+
+
+def _timed_run(obs):
+    start = time.perf_counter()
+    outcome = run_benchmark(
+        _BENCH, _MODE, _SCALE, cores=_CORES, track=False, obs=obs
+    )
+    elapsed = time.perf_counter() - start
+    return elapsed, outcome
+
+
+def _best_of(runs, make_obs):
+    best = None
+    outcome = None
+    for _ in range(runs):
+        obs = make_obs()
+        elapsed, outcome = _timed_run(obs)
+        obs.close()
+        best = elapsed if best is None else min(best, elapsed)
+    return best, outcome
+
+
+class DevNull:
+    def write(self, _):
+        pass
+
+    def flush(self):
+        pass
+
+    def close(self):
+        pass
+
+
+def test_noop_guard_under_5_percent():
+    """The disabled-path cost per miss is < 5% of the real per-miss work."""
+    t_off, outcome = _best_of(3, lambda: NULL_OBS)
+    misses = outcome.perf.llc_misses
+    assert misses > 0
+    per_miss_ns = t_off / misses * 1e9
+
+    # The hot path pays one `obs.enabled` check per miss and per
+    # writeback, plus the no-op method-call surface behind it.  Time that
+    # guard directly at call volume.
+    obs = NULL_OBS
+    rounds = 200_000
+    start = time.perf_counter()
+    for _ in range(rounds):
+        if obs.enabled:
+            raise AssertionError("NULL_OBS must be disabled")
+    guard_ns = (time.perf_counter() - start) / rounds * 1e9
+
+    # Two guard evaluations per miss (miss + potential writeback), with
+    # slack for attribute-access jitter.
+    overhead_fraction = (4 * guard_ns) / per_miss_ns
+    print(
+        f"\nper-miss {per_miss_ns:.0f} ns, guard {guard_ns:.0f} ns, "
+        f"no-op overhead {100 * overhead_fraction:.3f}%"
+    )
+    assert overhead_fraction < 0.05
+
+
+def test_disabled_run_wall_clock_stable():
+    """Repeated disabled runs agree — the no-op path has no hidden drift."""
+    t_first, _ = _best_of(2, lambda: NULL_OBS)
+    t_second, _ = _best_of(2, lambda: NULL_OBS)
+    ratio = max(t_first, t_second) / min(t_first, t_second)
+    print(f"\ndisabled-run repeatability ratio: {ratio:.3f}")
+    assert ratio < 1.5  # generous: guards against gross regressions only
+
+
+def test_throughput_off_vs_sampled_vs_full():
+    """Report the three throughputs; sampled tracing must beat full."""
+    t_off, outcome = _best_of(3, lambda: NULL_OBS)
+    t_sampled, _ = _best_of(
+        3,
+        lambda: Observability.create(
+            trace_sink=DevNull(), sample_rate=0.01, seed=0
+        ),
+    )
+    t_full, _ = _best_of(
+        3,
+        lambda: Observability.create(trace_sink=DevNull(), sample_rate=1.0),
+    )
+    misses = outcome.perf.llc_misses
+    print(
+        f"\nthroughput (misses/s): off={misses / t_off:,.0f} "
+        f"sampled(1%)={misses / t_sampled:,.0f} full={misses / t_full:,.0f}"
+    )
+    # Full tracing does strictly more JSON serialisation than 1% sampling;
+    # allow noise margin but catch a sampling rate that stopped working.
+    assert t_sampled <= t_full * 1.2
+    # Observability on (even full) must not explode the runtime.
+    assert t_full < t_off * 3.0
+
+
+@pytest.mark.benchmark(group="obs-overhead")
+def test_bench_disabled(benchmark):
+    benchmark.pedantic(
+        lambda: run_benchmark(
+            _BENCH, _MODE, _SCALE, cores=_CORES, track=False, obs=NULL_OBS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="obs-overhead")
+def test_bench_full_obs(benchmark):
+    def run():
+        obs = Observability.create(trace_sink=DevNull(), sample_rate=1.0)
+        out = run_benchmark(
+            _BENCH, _MODE, _SCALE, cores=_CORES, track=False, obs=obs
+        )
+        obs.close()
+        return out
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -44,6 +44,7 @@ class CacheStats:
     writebacks: int = 0
     overflow_spills: int = 0
     overflow_hits: int = 0
+    alias_pins: int = 0
 
     @property
     def accesses(self) -> int:
@@ -52,6 +53,18 @@ class CacheStats:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.accesses if self.accesses else 0.0
+
+    def as_dict(self) -> dict[str, int]:
+        """Every counter field, keyed by name (derived rates excluded)."""
+        from dataclasses import fields
+
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Accumulate another instance's counts into this one."""
+        for name, value in other.as_dict().items():
+            setattr(self, name, getattr(self, name) + value)
+        return self
 
 
 class OverflowRegion:
@@ -161,6 +174,8 @@ class SetAssocCache:
         addr = self._align(addr)
         if len(data) != self.line_bytes:
             raise ValueError(f"line data must be {self.line_bytes} bytes")
+        if alias:
+            self.stats.alias_pins += 1
         existing = self.peek(addr)
         if existing is not None:
             existing.data = data
@@ -208,6 +223,24 @@ class SetAssocCache:
         lines = [line for cache_set in self._sets for line in cache_set]
         lines.extend(self.overflow.blocks.values())
         return lines
+
+    def pinned_lines(self) -> int:
+        """Lines currently alias-pinned (resident + overflow)."""
+        return sum(1 for line in self.resident_lines() if line.alias)
+
+    def publish_metrics(self, registry, prefix: Optional[str] = None) -> None:
+        """Mirror this cache's counters into a metrics registry.
+
+        Names land under ``prefix`` (default: the lowercased cache name),
+        e.g. ``llc.hits``, ``llc.pins``, ``llc.overflow_spills``.
+        """
+        prefix = prefix or self.name.lower()
+        stats = self.stats.as_dict()
+        # ``pins`` is the catalogued name for alias pin events.
+        stats["pins"] = stats.pop("alias_pins")
+        registry.update_counters(prefix, stats)
+        registry.set_gauge(f"{prefix}.pinned_lines", self.pinned_lines())
+        registry.set_gauge(f"{prefix}.overflow_lines", len(self.overflow))
 
     def __contains__(self, addr: int) -> bool:
         return self.peek(addr) is not None

@@ -54,6 +54,19 @@ class FilterStats:
             return 0.0
         return self.hits_by_level.get(level, 0) / self.accesses
 
+    def as_dict(self) -> dict[str, int]:
+        out = {"accesses": self.accesses, "llc_misses": self.llc_misses}
+        for level, hits in self.hits_by_level.items():
+            out[f"hits.{level}"] = hits
+        return out
+
+    def merge(self, other: "FilterStats") -> "FilterStats":
+        self.accesses += other.accesses
+        self.llc_misses += other.llc_misses
+        for level, hits in other.hits_by_level.items():
+            self.hits_by_level[level] = self.hits_by_level.get(level, 0) + hits
+        return self
+
 
 class CacheHierarchy:
     """Private levels per core over one shared last level."""
@@ -153,6 +166,27 @@ class CacheHierarchy:
                 ):
                     writebacks.append(outer_eviction.line)
         return writebacks
+
+    # -- observability -----------------------------------------------------------
+
+    def publish_metrics(self, registry, prefix: str = "hierarchy") -> None:
+        """Mirror filter stats and every level's cache counters.
+
+        Private caches merge across cores into one ``cache.L1D``-style
+        namespace per level; the shared LLC publishes under ``cache.L3``
+        (or whatever the last level is named).
+        """
+        registry.update_counters(prefix, self.stats.as_dict())
+        from repro.cache.cache import CacheStats
+
+        for config, caches in zip(self.levels[:-1], self._private):
+            merged = CacheStats()
+            for cache in caches:
+                merged.merge(cache.stats)
+            stats = merged.as_dict()
+            stats["pins"] = stats.pop("alias_pins")
+            registry.update_counters(f"cache.{config.name}", stats)
+        self.llc.publish_metrics(registry, prefix=f"cache.{self.llc.name}")
 
     # -- trace filtering --------------------------------------------------------
 

@@ -88,6 +88,22 @@ class ControllerStats:
         total = self.compressed_writes + self.raw_writes
         return self.compressed_writes / total if total else 0.0
 
+    def as_dict(self) -> dict[str, int]:
+        """Every counter field, keyed by name.
+
+        Reporting code iterates this instead of plucking fields by hand,
+        so a counter added here can never be silently dropped downstream.
+        """
+        from dataclasses import fields
+
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def merge(self, other: "ControllerStats") -> "ControllerStats":
+        """Accumulate another instance's counts into this one."""
+        for name, value in other.as_dict().items():
+            setattr(self, name, getattr(self, name) + value)
+        return self
+
 
 @dataclass(frozen=True)
 class AccessResult:
@@ -118,11 +134,15 @@ class ProtectedMemory:
         config: Optional[COPConfig] = None,
         capacity_bytes: int = 8 << 30,
         region_base: Optional[int] = None,
+        obs=None,
     ) -> None:
+        from repro.obs import NULL_OBS
+
         self.mode = mode
         self.config = config or COPConfig.four_byte()
         self.capacity_bytes = capacity_bytes
         self.stats = ControllerStats()
+        self.obs = obs if obs is not None else NULL_OBS
         self.contents: dict[int, bytes] = {}
         # Data space is assumed below region_base; the ECC structures of
         # COP-ER and the baseline live above it so addresses never collide.
@@ -148,7 +168,7 @@ class ProtectedMemory:
         self.entry_of: dict[int, int] = {}  # data addr -> ECC entry index
         self.ever_incompressible: set[int] = set()
         if mode is ProtectionMode.COP_ER:
-            self.region = ECCRegion()
+            self.region = ECCRegion(metrics=self.obs.metrics)
             self.formatter = CoperBlockFormat(self.codec, self.region)
 
         self._wide_code = code_523_512()
@@ -241,6 +261,8 @@ class ProtectedMemory:
         if self.mode is ProtectionMode.COP:
             if self.codec.is_alias(data):
                 self.stats.alias_rejects += 1
+                if self.obs.enabled:
+                    self.obs.trace.emit("alias_reject", addr=addr, mode=self.mode.value)
                 return AccessResult(accepted=False)
             self.contents[addr] = bytes(data)
             self.stats.raw_writes += 1
@@ -258,6 +280,8 @@ class ProtectedMemory:
                 if placed is not None:
                     self.region.free(placed.entry_index)
                 self.stats.alias_rejects += 1
+                if self.obs.enabled:
+                    self.obs.trace.emit("alias_reject", addr=addr, mode=self.mode.value)
                 return AccessResult(accepted=False)
             entry = placed.entry_index
             stored = placed.stored
@@ -302,7 +326,7 @@ class ProtectedMemory:
             decoded = self.codec.decode(stored)
             self.stats.compressed_reads += 1
             corrected = decoded.corrected_words > 0
-            self._count_read(corrected, decoded.uncorrectable)
+            self._count_read(corrected, decoded.uncorrectable, addr)
             return AccessResult(
                 data=decoded.data,
                 compressed=True,
@@ -314,7 +338,7 @@ class ProtectedMemory:
         result = self._wide_code.decode(word)
         corrected = result.status is CodeStatus.CORRECTED
         bad = result.status is CodeStatus.DETECTED
-        self._count_read(corrected, bad)
+        self._count_read(corrected, bad, addr)
         self.stats.ecc_block_reads += 1
         return AccessResult(
             data=int_to_bytes(result.data, BLOCK_BYTES),
@@ -351,7 +375,7 @@ class ProtectedMemory:
 
         if self.mode is ProtectionMode.ECC_DIMM:
             data, corrected, bad = self._dimm_correct(addr, stored)
-            self._count_read(corrected, bad)
+            self._count_read(corrected, bad, addr)
             return AccessResult(data=data, corrected=corrected, uncorrectable=bad)
 
         if self.mode in (ProtectionMode.ECC_REGION, ProtectionMode.EMBEDDED_ECC):
@@ -361,7 +385,7 @@ class ProtectedMemory:
             result = self._wide_code.decode(word)
             corrected = result.status is CodeStatus.CORRECTED
             bad = result.status is CodeStatus.DETECTED
-            self._count_read(corrected, bad)
+            self._count_read(corrected, bad, addr)
             self.stats.ecc_block_reads += 1
             ecc_addr = (
                 self.baseline_ecc_addr(addr)
@@ -384,7 +408,7 @@ class ProtectedMemory:
         if decoded.is_compressed:
             self.stats.compressed_reads += 1
             corrected = decoded.corrected_words > 0
-            self._count_read(corrected, decoded.uncorrectable)
+            self._count_read(corrected, decoded.uncorrectable, addr)
             return AccessResult(
                 data=decoded.data,
                 compressed=True,
@@ -401,7 +425,7 @@ class ProtectedMemory:
         # COP-ER raw block: chase the pointer and rebuild.
         assert self.formatter is not None
         loaded = self.formatter.load_incompressible(stored)
-        self._count_read(loaded.corrected, loaded.uncorrectable)
+        self._count_read(loaded.corrected, loaded.uncorrectable, addr)
         self.stats.ecc_block_reads += 1
         return AccessResult(
             data=loaded.data,
@@ -412,11 +436,40 @@ class ProtectedMemory:
             ecc_reads=(self.entry_block_addr(loaded.entry_index),),
         )
 
-    def _count_read(self, corrected: bool, uncorrectable: bool) -> None:
+    def _count_read(
+        self, corrected: bool, uncorrectable: bool, addr: Optional[int] = None
+    ) -> None:
         if corrected:
             self.stats.corrected_blocks += 1
+            if self.obs.enabled:
+                self.obs.trace.emit("corrected", addr=addr, mode=self.mode.value)
         if uncorrectable:
             self.stats.uncorrectable_blocks += 1
+            if self.obs.enabled:
+                self.obs.trace.emit(
+                    "uncorrectable", addr=addr, mode=self.mode.value
+                )
+
+    def publish_metrics(self, registry=None, prefix: str = "controller") -> None:
+        """Mirror the controller counters into a metrics registry.
+
+        Publishing is idempotent (counters are set to absolute values), so
+        callers may re-publish at any cadence.  Region high-water marks
+        land under ``ecc_region.*`` next to the allocation counters the
+        :class:`~repro.core.coper.ECCRegion` maintains live.
+        """
+        registry = registry if registry is not None else self.obs.metrics
+        registry.update_counters(prefix, self.stats.as_dict())
+        registry.set_gauge(f"{prefix}.resident_blocks", len(self.contents))
+        registry.set_gauge(
+            f"{prefix}.ever_incompressible", len(self.ever_incompressible)
+        )
+        registry.set_gauge(f"{prefix}.mode.{self.mode.value}", 1)
+        if self.region is not None:
+            registry.set_gauge("ecc_region.live_entries", len(self.region))
+            registry.set_gauge("ecc_region.peak_entries", self.region.peak_entries)
+            registry.set_gauge("ecc_region.live_bytes", self.region.live_bytes)
+            registry.set_gauge("ecc_region.peak_bytes", self.region.peak_bytes)
 
     # -- ECC-DIMM helpers -----------------------------------------------------
 

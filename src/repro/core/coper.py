@@ -79,7 +79,9 @@ class ECCRegion:
     changes or memory is deallocated".
     """
 
-    def __init__(self, max_entries: Optional[int] = None) -> None:
+    def __init__(self, max_entries: Optional[int] = None, metrics=None) -> None:
+        from repro.obs.metrics import NULL_REGISTRY
+
         #: entry index -> (displaced 34 bits, block parity 11 bits)
         self._entries: dict[int, tuple[int, int]] = {}
         self._occupancy: dict[int, int] = {}  # ecc block -> 11-bit bitmap
@@ -90,6 +92,11 @@ class ECCRegion:
         self.max_entries = max_entries or (1 << POINTER_BITS)
         self.peak_entries = 0
         self.blocks_touched: set[int] = set()
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._m_allocations = self.metrics.counter("ecc_region.allocations")
+        self._m_frees = self.metrics.counter("ecc_region.frees")
+        self._m_scans = self.metrics.counter("ecc_region.alloc_candidates_scanned")
+        self._m_dealias_skips = self.metrics.counter("ecc_region.dealias_skips")
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -178,7 +185,9 @@ class ECCRegion:
                 return None
             if index >= self.max_entries:
                 return None
+            self._m_scans.inc()
             if acceptable is not None and not acceptable(index):
+                self._m_dealias_skips.inc()
                 continue
             self._entries[index] = (0, 0)
             self._mark(index)
@@ -186,6 +195,9 @@ class ECCRegion:
                 index // ENTRIES_PER_BLOCK
             ) // VALID_BITS_PER_BLOCK
             self.peak_entries = max(self.peak_entries, len(self._entries))
+            self._m_allocations.inc()
+            self.metrics.gauge("ecc_region.live_entries").set(len(self._entries))
+            self.metrics.gauge("ecc_region.peak_entries").max(self.peak_entries)
             return index
         return None
 
@@ -195,6 +207,8 @@ class ECCRegion:
             raise KeyError(f"entry {index} is not allocated")
         del self._entries[index]
         self._unmark(index)
+        self._m_frees.inc()
+        self.metrics.gauge("ecc_region.live_entries").set(len(self._entries))
 
     # -- entry contents ------------------------------------------------------
 

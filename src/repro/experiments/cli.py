@@ -5,11 +5,20 @@ Examples::
     cop-experiments fig9                 # Fig. 9 at the default scale
     cop-experiments fig11 --scale smoke  # quick performance sanity run
     cop-experiments all --scale full     # the whole evaluation
+
+Observability::
+
+    cop-experiments fig11 --obs                    # embed a metrics snapshot
+    cop-experiments fig11 --trace /tmp/t.jsonl \\
+        --trace-sample 0.01                        # + sampled event trace
+    cop-experiments obs --metrics results/fig11.json --trace /tmp/t.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+from pathlib import Path
 from typing import Callable
 
 from repro.experiments import (
@@ -49,6 +58,41 @@ EXPERIMENTS: dict[str, Callable[[Scale], object]] = {
 }
 
 
+def _run_obs_command(args) -> int:
+    """``cop-experiments obs``: render metrics trees and trace summaries."""
+    from repro.obs import render_tree, summarize_trace
+    from repro.obs.trace import render_trace_summary
+
+    status = 0
+    shown = False
+    if args.metrics:
+        snapshot = json.loads(Path(args.metrics).read_text())
+        # Accept either a raw registry snapshot or a saved results table
+        # (whose snapshot lives under its "metrics" key).
+        if "counters" not in snapshot:
+            snapshot = snapshot.get("metrics", {})
+        print(f"== metrics: {args.metrics}")
+        print(render_tree(snapshot))
+        shown = True
+        if args.check and not snapshot.get("counters"):
+            print("[check] FAIL: metrics snapshot is empty")
+            status = 1
+    if args.trace_file:
+        summary = summarize_trace(args.trace_file)
+        print(f"== trace: {args.trace_file}")
+        print(render_trace_summary(summary))
+        shown = True
+        if args.check and not summary["events"]:
+            print("[check] FAIL: trace contains no events")
+            status = 1
+    if not shown:
+        print("nothing to show: pass --metrics FILE and/or --trace FILE")
+        return 2
+    if args.check and status == 0:
+        print("[check] ok: trace parses and metrics are non-empty")
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="cop-experiments",
@@ -57,9 +101,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "report"],
+        choices=sorted(EXPERIMENTS) + ["all", "report", "obs"],
         help="which figure/table to regenerate ('report' summarises "
-        "saved results against the paper's claims)",
+        "saved results against the paper's claims; 'obs' renders a "
+        "metrics snapshot and/or summarises a trace file)",
     )
     parser.add_argument(
         "--scale",
@@ -72,8 +117,53 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="also render each column as an ASCII bar chart",
     )
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="enable the metrics registry; snapshots are embedded in each "
+        "saved results JSON and a metrics tree is printed at the end",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        dest="trace_out",
+        help="write a structured JSONL event trace (implies --obs)",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="fraction of per-access events to keep (default 1.0)",
+    )
+    parser.add_argument(
+        "--trace-seed",
+        type=int,
+        default=0,
+        help="sampling PRNG seed (default 0; fixed seed = reproducible trace)",
+    )
+    # `obs` subcommand inputs:
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="[obs] metrics snapshot or saved results JSON to render",
+    )
+    parser.add_argument(
+        "--trace-file",
+        metavar="FILE",
+        help="[obs] trace JSONL file to summarise",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="[obs] exit non-zero unless the trace parses and the "
+        "metrics snapshot is non-empty",
+    )
     args = parser.parse_args(argv)
     scale = Scale(args.scale)
+
+    if args.experiment == "obs":
+        return _run_obs_command(args)
 
     if args.experiment == "report":
         from repro.experiments import report
@@ -81,9 +171,22 @@ def main(argv: list[str] | None = None) -> int:
         report.main()
         return 0
 
+    obs = None
+    if args.obs or args.trace_out:
+        from repro.obs import Observability, set_obs
+
+        obs = Observability.create(
+            trace_sink=args.trace_out,
+            sample_rate=args.trace_sample,
+            seed=args.trace_seed,
+        )
+        set_obs(obs)
+
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         table = EXPERIMENTS[name](scale)
+        if obs is not None:
+            table.metrics = obs.snapshot()
         print(table.to_text())
         if args.chart:
             for column in table.columns:
@@ -92,6 +195,13 @@ def main(argv: list[str] | None = None) -> int:
         print()
         path = table.save(name)
         print(f"[saved {path}]")
+
+    if obs is not None:
+        print("== metrics")
+        print(obs.metrics.render_tree())
+        obs.close()
+        if args.trace_out:
+            print(f"[trace written to {args.trace_out}]")
     return 0
 
 

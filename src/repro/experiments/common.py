@@ -36,12 +36,22 @@ class Scale(enum.Enum):
 
     @classmethod
     def from_env(cls, default: "Scale" = None) -> "Scale":
-        """Scale selection via the REPRO_SCALE environment variable."""
-        name = os.environ.get("REPRO_SCALE", "").lower()
+        """Scale selection via the REPRO_SCALE environment variable.
+
+        An unset (or empty) variable yields ``default`` (SMALL); an
+        unrecognised value raises so a typo'd ``REPRO_SCALE=fulll`` fails
+        loudly instead of silently running at the wrong scale.
+        """
+        name = os.environ.get("REPRO_SCALE", "").strip().lower()
+        if not name:
+            return default or cls.SMALL
         for scale in cls:
             if scale.value == name:
                 return scale
-        return default or cls.SMALL
+        choices = ", ".join(scale.value for scale in cls)
+        raise ValueError(
+            f"REPRO_SCALE={name!r} is not a valid scale; choose one of: {choices}"
+        )
 
     def pick(self, smoke: int, small: int, full: int) -> int:
         """Choose a work amount for this scale."""
@@ -62,6 +72,9 @@ class ExperimentTable:
     rows: list[tuple[str, tuple[float, ...]]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
     percent: bool = True
+    #: Metrics snapshot captured while the experiment ran (empty when
+    #: observability is off); embedded in the saved results JSON.
+    metrics: dict = field(default_factory=dict)
 
     def add(self, label: str, values: Iterable[float]) -> None:
         values = tuple(values)
@@ -128,13 +141,16 @@ class ExperimentTable:
 
     def to_dict(self) -> dict:
         """JSON-serialisable form (raw numbers, for downstream tooling)."""
-        return {
+        out = {
             "title": self.title,
             "columns": list(self.columns),
             "rows": {label: list(values) for label, values in self.rows},
             "notes": list(self.notes),
             "percent": self.percent,
         }
+        if self.metrics:
+            out["metrics"] = self.metrics
+        return out
 
     def save(self, name: str) -> Path:
         """Write the rendered table (and raw JSON) under results/."""

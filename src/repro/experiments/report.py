@@ -14,11 +14,18 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional
 
+from repro.core.controller import ControllerStats
 from repro.experiments.common import results_dir
 from repro.paper import claim
 from repro.workloads.profiles import MEMORY_INTENSIVE
 
-__all__ = ["HeadlineCheck", "HEADLINES", "generate", "main"]
+__all__ = [
+    "HeadlineCheck",
+    "HEADLINES",
+    "controller_stats_from_snapshot",
+    "generate",
+    "main",
+]
 
 
 def _load(name: str) -> Optional[dict]:
@@ -108,6 +115,51 @@ HEADLINES: tuple[HeadlineCheck, ...] = (
 )
 
 
+def controller_stats_from_snapshot(snapshot: dict) -> ControllerStats:
+    """Rebuild a :class:`ControllerStats` view from a metrics snapshot.
+
+    Driven by ``ControllerStats.as_dict()`` so the field list lives in one
+    place: a counter added to the dataclass is automatically picked up
+    here (and in the scorecard table below) instead of being silently
+    dropped by hand-written field plucking.
+    """
+    stats = ControllerStats()
+    counters = snapshot.get("counters", {})
+    for name in stats.as_dict():
+        setattr(stats, name, counters.get(f"controller.{name}", 0))
+    return stats
+
+
+def _observability_section() -> list[str]:
+    """Aggregate controller counters from saved metrics snapshots."""
+    merged = ControllerStats()
+    found = []
+    for path in sorted(results_dir().glob("*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            continue
+        snapshot = data.get("metrics") if isinstance(data, dict) else None
+        if not snapshot:
+            continue
+        merged.merge(controller_stats_from_snapshot(snapshot))
+        found.append(path.stem)
+    if not found:
+        return []
+    lines = [
+        "",
+        "## Observability",
+        "",
+        f"Metrics snapshots embedded in: {', '.join(found)}",
+        "",
+        "| controller counter | total |",
+        "|---|---|",
+    ]
+    for name, value in merged.as_dict().items():
+        lines.append(f"| {name} | {value:,} |")
+    return lines
+
+
 def generate() -> str:
     """The markdown scorecard."""
     lines = [
@@ -132,6 +184,7 @@ def generate() -> str:
         lines.append("Missing results (run `cop-experiments all` first):")
         for check in missing:
             lines.append(f"* {check.label} (needs results/{check.source}.json)")
+    lines.extend(_observability_section())
     return "\n".join(lines)
 
 

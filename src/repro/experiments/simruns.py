@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.config import COPConfig
 from repro.core.controller import ProtectedMemory, ProtectionMode
 from repro.experiments.common import Scale
+from repro.obs import Observability, get_obs
 from repro.reliability.parma import VulnerabilityReport, VulnerabilityTracker
 from repro.simulation.config import SCALED_SYSTEM, SystemConfig
 from repro.simulation.system import MultiCoreSystem, PerfResult
@@ -26,6 +27,8 @@ class SimOutcome:
     perf: PerfResult
     vulnerability: VulnerabilityReport
     memory: ProtectedMemory
+    #: Metrics snapshot from this run (empty when observability is off).
+    metrics: dict = field(default_factory=dict)
 
 
 def epochs_for(scale: Scale) -> int:
@@ -41,17 +44,23 @@ def run_benchmark(
     system: SystemConfig = SCALED_SYSTEM,
     seed: int = 11,
     track: bool = True,
+    obs: Optional[Observability] = None,
 ) -> SimOutcome:
     """Simulate one benchmark under one protection mode.
 
     SPEC benchmarks run in rate mode — ``cores`` copies with disjoint
     address spaces; PARSEC benchmarks run as ``cores`` threads sharing one
     footprint (the paper's 4-threaded native runs).
+
+    ``obs`` defaults to the process-wide observability bundle (a no-op
+    unless enabled via :func:`repro.obs.set_obs` or the environment).
     """
     profile = (
         PROFILES[benchmark] if isinstance(benchmark, str) else benchmark
     )
-    memory = ProtectedMemory(mode, config=cop_config)
+    if obs is None:
+        obs = get_obs()
+    memory = ProtectedMemory(mode, config=cop_config, obs=obs)
     footprint_blocks = max(
         2048,
         profile.footprint_mb * (1 << 20) // 64 // system.footprint_divider,
@@ -74,11 +83,14 @@ def run_benchmark(
         ipcs.append(profile.perfect_ipc)
 
     tracker = VulnerabilityTracker() if track else None
-    sim = MultiCoreSystem(memory, traces, sources, ipcs, system, tracker=tracker)
-    perf = sim.run()
+    sim = MultiCoreSystem(
+        memory, traces, sources, ipcs, system, tracker=tracker, obs=obs
+    )
+    with obs.profile.phase(f"benchmark.{profile.name}"):
+        perf = sim.run()
     report = (
         tracker.report()
         if tracker is not None
         else VulnerabilityReport(0.0, 0.0, 0, 0)
     )
-    return SimOutcome(perf, report, memory)
+    return SimOutcome(perf, report, memory, metrics=obs.snapshot())

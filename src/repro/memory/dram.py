@@ -102,6 +102,9 @@ class DRAMStats:
     row_hits: int = 0
     row_misses: int = 0
     busy_ns: float = 0.0
+    #: Per-bank ``(channel, rank, bank) -> [row_hits, row_misses]``,
+    #: populated only when the owning DRAMSystem has observability on.
+    per_bank: dict[tuple[int, int, int], list[int]] = field(default_factory=dict)
 
     @property
     def accesses(self) -> int:
@@ -111,6 +114,29 @@ class DRAMStats:
     def row_hit_rate(self) -> float:
         total = self.row_hits + self.row_misses
         return self.row_hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Scalar counters keyed by name (per-bank detail excluded)."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "accesses": self.accesses,
+            "row_hits": self.row_hits,
+            "row_misses": self.row_misses,
+        }
+
+    def merge(self, other: "DRAMStats") -> "DRAMStats":
+        """Accumulate another instance's counts into this one."""
+        self.reads += other.reads
+        self.writes += other.writes
+        self.row_hits += other.row_hits
+        self.row_misses += other.row_misses
+        self.busy_ns += other.busy_ns
+        for key, (hits, misses) in other.per_bank.items():
+            entry = self.per_bank.setdefault(key, [0, 0])
+            entry[0] += hits
+            entry[1] += misses
+        return self
 
 
 class _Bank:
@@ -125,7 +151,9 @@ class _Bank:
 class DRAMSystem:
     """Functional-timing model of the whole memory system."""
 
-    def __init__(self, config: DRAMConfig = DDR3_1600) -> None:
+    def __init__(self, config: DRAMConfig = DDR3_1600, obs=None) -> None:
+        from repro.obs import NULL_OBS
+
         self.config = config
         self.mapper = AddressMapper(config.geometry)
         geometry = config.geometry
@@ -140,6 +168,9 @@ class DRAMSystem:
         #: Rolling activate history per (channel, rank) for tFAW.
         self._act_history: dict[tuple[int, int], list[float]] = {}
         self.stats = DRAMStats()
+        self.obs = obs if obs is not None else NULL_OBS
+        #: Hot-path flag: per-bank accounting only when someone is looking.
+        self._track_banks = self.obs.enabled
 
     # -- refresh -----------------------------------------------------------
 
@@ -220,7 +251,26 @@ class DRAMSystem:
             self.stats.row_hits += 1
         else:
             self.stats.row_misses += 1
+        if self._track_banks:
+            entry = self.stats.per_bank.setdefault(
+                (loc.channel, loc.rank, loc.bank), [0, 0]
+            )
+            entry[0 if row_hit else 1] += 1
         return AccessTiming(start, complete, row_hit)
+
+    def publish_metrics(self, registry, prefix: str = "dram") -> None:
+        """Mirror the DRAM counters (and per-bank detail) into a registry.
+
+        Per-bank names follow ``dram.bank.c{ch}r{rank}b{bank}.row_hits``.
+        """
+        registry.update_counters(prefix, self.stats.as_dict())
+        registry.set_gauge(f"{prefix}.busy_ns", self.stats.busy_ns)
+        registry.set_gauge(f"{prefix}.row_hit_rate", self.stats.row_hit_rate)
+        for (ch, rank, bank), (hits, misses) in self.stats.per_bank.items():
+            registry.update_counters(
+                f"{prefix}.bank.c{ch}r{rank}b{bank}",
+                {"row_hits": hits, "row_misses": misses},
+            )
 
     # -- batched access (FR-FCFS inside a ready batch) ---------------------
 

@@ -54,6 +54,20 @@ class SchedulerStats:
             return 0.0
         return self.total_read_latency_ns / self.serviced_reads
 
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "serviced_reads": self.serviced_reads,
+            "serviced_writes": self.serviced_writes,
+            "drain_entries": self.drain_entries,
+        }
+
+    def merge(self, other: "SchedulerStats") -> "SchedulerStats":
+        self.serviced_reads += other.serviced_reads
+        self.serviced_writes += other.serviced_writes
+        self.drain_entries += other.drain_entries
+        self.total_read_latency_ns += other.total_read_latency_ns
+        return self
+
 
 class MemoryScheduler:
     """Services queued requests against the bank-timing model."""
@@ -128,7 +142,17 @@ class MemoryScheduler:
         else:
             self.stats.serviced_reads += 1
             self.stats.total_read_latency_ns += request.latency_ns
+        obs = self.dram.obs
+        if obs.enabled and not request.is_write:
+            obs.metrics.observe("scheduler.read_latency_ns", request.latency_ns)
         return request
+
+    def publish_metrics(self, registry, prefix: str = "scheduler") -> None:
+        """Mirror the scheduler counters into a metrics registry."""
+        registry.update_counters(prefix, self.stats.as_dict())
+        registry.set_gauge(
+            f"{prefix}.mean_read_latency_ns", self.stats.mean_read_latency_ns
+        )
 
     def run_until_empty(self, start_ns: float = 0.0) -> list[MemRequest]:
         """Drain all queues, advancing time with each service."""

@@ -1,0 +1,135 @@
+"""Unified observability for the COP simulation stack.
+
+One :class:`Observability` object bundles the three surfaces every layer
+of the simulator shares:
+
+* :mod:`repro.obs.metrics` — hierarchical Counter/Gauge/Histogram registry,
+* :mod:`repro.obs.trace` — sampled structured JSONL event tracing,
+* :mod:`repro.obs.profile` — wall-clock phase timers and call counters.
+
+The module-level default (:data:`NULL_OBS`) is a no-op on every surface,
+so instrumented components cost (at most) one ``enabled`` check per hot
+operation until someone opts in — via :func:`Observability.create`, the
+CLI's ``--obs``/``--trace`` flags, or the environment::
+
+    REPRO_OBS=1                  enable the metrics registry + profiler
+    REPRO_TRACE=/path/out.jsonl  also write a structured event trace
+    REPRO_TRACE_SAMPLE=0.01      keep 1% of per-access events
+    REPRO_TRACE_SEED=7           sampling PRNG seed (default 0)
+
+Components receive the bundle at construction; code that cannot thread it
+explicitly (the experiment harnesses) uses the process-wide current bundle
+(:func:`get_obs`/:func:`set_obs`), which initialises itself from the
+environment on first use.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Optional, Union
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    render_tree,
+)
+from repro.obs.profile import NULL_PROFILER, NullProfiler, Profiler
+from repro.obs.trace import (
+    NULL_TRACER,
+    EventTracer,
+    NullTracer,
+    summarize_trace,
+)
+
+__all__ = [
+    "Observability",
+    "NULL_OBS",
+    "get_obs",
+    "set_obs",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "EventTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Profiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "render_tree",
+    "summarize_trace",
+]
+
+
+@dataclass
+class Observability:
+    """The bundle handed to every instrumented component."""
+
+    metrics: MetricsRegistry = field(default_factory=lambda: NULL_REGISTRY)
+    trace: EventTracer = field(default_factory=lambda: NULL_TRACER)
+    profile: Profiler = field(default_factory=lambda: NULL_PROFILER)
+
+    @property
+    def enabled(self) -> bool:
+        """Is any surface live?  Hot paths gate their work on this."""
+        return self.metrics.enabled or self.trace.enabled
+
+    @classmethod
+    def create(
+        cls,
+        trace_sink: Union[str, Path, IO[str], None] = None,
+        sample_rate: float = 1.0,
+        seed: int = 0,
+    ) -> "Observability":
+        """A live bundle: real registry + profiler, tracer if a sink given."""
+        tracer = (
+            EventTracer(trace_sink, sample_rate=sample_rate, seed=seed)
+            if trace_sink is not None
+            else NULL_TRACER
+        )
+        return cls(metrics=MetricsRegistry(), trace=tracer, profile=Profiler())
+
+    @classmethod
+    def from_env(cls) -> "Observability":
+        """Build from ``REPRO_OBS``/``REPRO_TRACE*`` (NULL_OBS when unset)."""
+        trace_path = os.environ.get("REPRO_TRACE")
+        obs_on = os.environ.get("REPRO_OBS", "").lower() in ("1", "true", "yes", "on")
+        if not obs_on and not trace_path:
+            return NULL_OBS
+        return cls.create(
+            trace_sink=trace_path,
+            sample_rate=float(os.environ.get("REPRO_TRACE_SAMPLE", "1.0")),
+            seed=int(os.environ.get("REPRO_TRACE_SEED", "0")),
+        )
+
+    def snapshot(self) -> dict:
+        """Combined metrics + profile snapshot for embedding in results."""
+        if not self.metrics.enabled:
+            return {}
+        self.profile.publish(self.metrics)
+        return self.metrics.snapshot()
+
+    def close(self) -> None:
+        self.trace.close()
+
+
+#: The do-nothing default every component starts with.
+NULL_OBS = Observability()
+
+_current: Optional[Observability] = None
+
+
+def get_obs() -> Observability:
+    """The process-wide bundle (lazily initialised from the environment)."""
+    global _current
+    if _current is None:
+        _current = Observability.from_env()
+    return _current
+
+
+def set_obs(obs: Optional[Observability]) -> None:
+    """Install (or with None, reset to env-derived) the process-wide bundle."""
+    global _current
+    _current = obs

@@ -1,0 +1,385 @@
+"""Hierarchical metrics registry for the simulation stack.
+
+Metric names are dot-separated paths (``controller.alias_rejects``,
+``dram.bank.c0r0b3.row_hits``, ``llc.pins``) so related counters group
+into a tree for reporting.  Three metric types:
+
+``Counter``
+    Monotonic count (``inc``).  Snapshots subtract cleanly (``delta``)
+    and sum across cores/runs (``merge``).
+``Gauge``
+    Point-in-time value (``set``).  Merge takes the max, which is the
+    right reduction for the high-water marks the simulator tracks
+    (peak ECC entries, makespan).
+``Histogram``
+    Power-of-two bucketed distribution (``observe``) with deterministic
+    percentile estimates — O(1) memory however many latencies land in it.
+
+A :class:`MetricsRegistry` owns the metrics; :class:`NullRegistry` is the
+default no-op implementation whose ``inc``/``set``/``observe`` do nothing,
+so instrumented hot paths cost one no-op method call (or one ``enabled``
+check) when observability is off.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "render_tree",
+]
+
+_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+class Counter:
+    """Monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value (merge keeps the max)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def max(self, value: float) -> None:
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """Log2-bucketed histogram with deterministic percentile estimates.
+
+    Buckets cover ``2**k`` for ``k`` in ``[_MIN_EXP, _MAX_EXP)``; values
+    outside clamp to the edge buckets.  Percentiles return the geometric
+    midpoint of the bucket holding the requested rank, so repeated runs of
+    a deterministic simulation report identical numbers.
+    """
+
+    _MIN_EXP = -10  # ~1e-3: sub-ns latencies clamp here
+    _MAX_EXP = 50  # ~1e15: covers any ns quantity a run produces
+
+    __slots__ = ("name", "count", "total", "min", "max", "_buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._buckets = [0] * (self._MAX_EXP - self._MIN_EXP)
+
+    def _bucket_index(self, value: float) -> int:
+        if value <= 0:
+            return 0
+        exp = int(math.floor(math.log2(value)))
+        return min(max(exp - self._MIN_EXP, 0), len(self._buckets) - 1)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self._buckets[self._bucket_index(value)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, pct: float) -> float:
+        """Estimate the ``pct``-th percentile (bucket geometric midpoint)."""
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(self.count * pct / 100.0))
+        seen = 0
+        for index, bucket_count in enumerate(self._buckets):
+            seen += bucket_count
+            if seen >= rank:
+                low = 2.0 ** (index + self._MIN_EXP)
+                return min(max(low * math.sqrt(2.0), self.min), self.max)
+        return self.max
+
+    def as_dict(self) -> dict:
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            **{f"p{int(p)}": self.percentile(p) for p in _PERCENTILES},
+            "buckets": {
+                str(i + self._MIN_EXP): n
+                for i, n in enumerate(self._buckets)
+                if n
+            },
+        }
+
+    def merge_dict(self, data: Mapping) -> None:
+        """Fold a snapshot produced by :meth:`as_dict` into this histogram."""
+        if not data.get("count"):
+            return
+        self.count += data["count"]
+        self.total += data["total"]
+        self.min = min(self.min, data["min"])
+        self.max = max(self.max, data["max"])
+        for key, n in data.get("buckets", {}).items():
+            index = int(key) - self._MIN_EXP
+            self._buckets[min(max(index, 0), len(self._buckets) - 1)] += n
+
+
+class MetricsRegistry:
+    """Creates, stores, snapshots and merges hierarchically named metrics."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- access / creation ---------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    # -- convenience mutators -----------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def update_counters(self, prefix: str, values: Mapping[str, int]) -> None:
+        """Set ``prefix.key`` counters to absolute values (idempotent).
+
+        Components that keep their own stats dataclasses publish through
+        this: the registry ends up holding the same totals however many
+        times the stats are re-published during a run.
+        """
+        for key, value in values.items():
+            counter = self.counter(f"{prefix}.{key}")
+            counter.value = int(value)
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable state of every metric."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.as_dict() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    @staticmethod
+    def delta(before: Mapping, after: Mapping) -> dict:
+        """Counter differences between two snapshots (gauges: after wins)."""
+        counters = {
+            name: value - before.get("counters", {}).get(name, 0)
+            for name, value in after.get("counters", {}).items()
+        }
+        return {
+            "counters": counters,
+            "gauges": dict(after.get("gauges", {})),
+            "histograms": dict(after.get("histograms", {})),
+        }
+
+    def merge(self, other: "MetricsRegistry | Mapping") -> "MetricsRegistry":
+        """Fold another registry (or snapshot) into this one.
+
+        Counters add, gauges keep the max, histograms combine — the
+        reduction used to collapse per-core registries into a system view.
+        """
+        snap = other.snapshot() if isinstance(other, MetricsRegistry) else other
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snap.get("gauges", {}).items():
+            self.gauge(name).max(value)
+        for name, data in snap.get("histograms", {}).items():
+            self.histogram(name).merge_dict(data)
+        return self
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def is_empty(self) -> bool:
+        return not (self._counters or self._gauges or self._histograms)
+
+    def render_tree(self) -> str:
+        return render_tree(self.snapshot())
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:  # pragma: no cover - trivial
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def max(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class NullRegistry(MetricsRegistry):
+    """No-op registry: every lookup returns a shared do-nothing metric."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_counter = _NullCounter("null")
+        self._null_gauge = _NullGauge("null")
+        self._null_histogram = _NullHistogram("null")
+
+    def counter(self, name: str) -> Counter:
+        return self._null_counter
+
+    def gauge(self, name: str) -> Gauge:
+        return self._null_gauge
+
+    def histogram(self, name: str) -> Histogram:
+        return self._null_histogram
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def update_counters(self, prefix: str, values: Mapping[str, int]) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+#: Shared default — safe to hand to any number of components.
+NULL_REGISTRY = NullRegistry()
+
+
+def _tree_insert(tree: dict, name: str, leaf: str) -> None:
+    parts = name.split(".")
+    node = tree
+    for part in parts[:-1]:
+        node = node.setdefault(part, {})
+    node[parts[-1]] = leaf
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:,.3f}"
+    return f"{int(value):,}"
+
+
+def render_tree(snapshot: Mapping) -> str:
+    """Render a snapshot as an indented metrics tree.
+
+    Example::
+
+        controller
+          reads ......... 1,204
+          writes ........ 377
+        dram
+          row_hits ...... 903
+    """
+    tree: dict = {}
+    for name, value in snapshot.get("counters", {}).items():
+        _tree_insert(tree, name, _format_value(value))
+    for name, value in snapshot.get("gauges", {}).items():
+        _tree_insert(tree, name, _format_value(value))
+    for name, data in snapshot.get("histograms", {}).items():
+        if data.get("count"):
+            leaf = (
+                f"n={data['count']:,} mean={data['mean']:,.1f} "
+                f"p50={data['p50']:,.1f} p99={data['p99']:,.1f} "
+                f"max={data['max']:,.1f}"
+            )
+        else:
+            leaf = "n=0"
+        _tree_insert(tree, name, leaf)
+    if not tree:
+        return "(no metrics recorded)"
+
+    lines: list[str] = []
+
+    def walk(node: dict, depth: int) -> None:
+        pad = "  " * depth
+        width = max(
+            (len(k) for k, v in node.items() if not isinstance(v, dict)),
+            default=0,
+        )
+        for key in sorted(node):
+            value = node[key]
+            if isinstance(value, dict):
+                lines.append(f"{pad}{key}")
+                walk(value, depth + 1)
+            else:
+                dots = "." * (width - len(key) + 3)
+                lines.append(f"{pad}{key} {dots} {value}")
+
+    walk(tree, 0)
+    return "\n".join(lines)

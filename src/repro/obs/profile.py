@@ -1,0 +1,97 @@
+"""Wall-clock profiling hooks for the simulator's host-side hot paths.
+
+The metrics registry counts *simulated* quantities; this module measures
+where the *host* (Python) time goes: phase timers around the simulator's
+main loop stages and cheap call counters on hot paths.  The default
+:class:`NullProfiler` reduces every hook to a no-op so un-instrumented
+runs pay nothing beyond the call.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["Profiler", "NullProfiler", "NULL_PROFILER"]
+
+
+class Profiler:
+    """Accumulates wall time per phase and counts per hot-path label."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.phase_seconds: dict[str, float] = {}
+        self.phase_calls: dict[str, int] = {}
+        self.counts: dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + elapsed
+            self.phase_calls[name] = self.phase_calls.get(name, 0) + 1
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counts[name] = self.counts.get(name, 0) + amount
+
+    def summary(self) -> dict:
+        return {
+            "phases": {
+                name: {
+                    "calls": self.phase_calls[name],
+                    "seconds": self.phase_seconds[name],
+                }
+                for name in sorted(self.phase_seconds)
+            },
+            "counts": dict(sorted(self.counts.items())),
+        }
+
+    def publish(self, registry, prefix: str = "profile") -> None:
+        """Mirror the profile into a metrics registry (gauges + counters)."""
+        for name, seconds in self.phase_seconds.items():
+            registry.set_gauge(f"{prefix}.{name}.seconds", seconds)
+            registry.set_gauge(f"{prefix}.{name}.calls", self.phase_calls[name])
+        registry.update_counters(prefix, self.counts)
+
+    def report(self) -> str:
+        lines = ["phase                     calls      seconds"]
+        for name in sorted(self.phase_seconds):
+            lines.append(
+                f"{name:<24} {self.phase_calls[name]:>6} "
+                f"{self.phase_seconds[name]:>12.4f}"
+            )
+        if self.counts:
+            lines.append("hot-path counters:")
+            for name in sorted(self.counts):
+                lines.append(f"  {name}: {self.counts[name]:,}")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self.phase_seconds.clear()
+        self.phase_calls.clear()
+        self.counts.clear()
+
+
+class NullProfiler(Profiler):
+    """No-op profiler (the default)."""
+
+    enabled = False
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        yield
+
+    def count(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def publish(self, registry, prefix: str = "profile") -> None:
+        pass
+
+
+#: Shared default — safe to hand to any number of components.
+NULL_PROFILER = NullProfiler()

@@ -108,16 +108,20 @@ class MultiCoreSystem:
         perfect_ipcs: Sequence[float],
         config: SystemConfig,
         tracker: Optional[VulnerabilityTracker] = None,
+        obs=None,
     ) -> None:
         if not len(traces) == len(sources) == len(perfect_ipcs):
             raise ValueError("traces, sources and perfect_ipcs must align")
         self.memory = memory
         self.config = config
         self.tracker = tracker
+        # One bundle for the whole system; default to the controller's so
+        # a caller only has to enable observability in one place.
+        self.obs = obs if obs is not None else memory.obs
         self.llc = SetAssocCache(config.llc_bytes, config.llc_ways, name="L3")
         from repro.memory.dram import DRAMSystem  # local to avoid cycle
 
-        self.dram = DRAMSystem(config.dram)
+        self.dram = DRAMSystem(config.dram, obs=self.obs)
         self._cores = [
             _CoreState(trace, ipc) for trace, ipc in zip(traces, perfect_ipcs)
         ]
@@ -163,6 +167,17 @@ class MultiCoreSystem:
     def _writeback(self, core_index: int, victim, now_ns: float) -> None:
         """Handle a dirty (or alias-pinned) eviction from the LLC."""
         result = self.memory.write(victim.addr, victim.data)
+        if self.obs.enabled:
+            self.obs.profile.count("writebacks")
+            self.obs.trace.emit(
+                "writeback",
+                t_ns=round(now_ns, 3),
+                core=core_index,
+                addr=victim.addr,
+                accepted=result.accepted,
+                compressed=result.compressed,
+                ecc_blocks=len(result.ecc_writes),
+            )
         if not result.accepted:
             # Incompressible alias: it must stay cached, pinned.
             self.llc.insert(
@@ -214,6 +229,25 @@ class MultiCoreSystem:
                 self._handle_eviction(core_index, eviction, now_ns)
 
         usable_ns += read.decompress_cycles * self.config.cycle_ns
+
+        if self.obs.enabled:
+            latency_ns = usable_ns - now_ns
+            self.obs.profile.count("misses")
+            self.obs.metrics.observe("system.miss_latency_ns", latency_ns)
+            self.obs.trace.emit(
+                "access",
+                t_ns=round(now_ns, 3),
+                core=core_index,
+                addr=addr,
+                store=is_store,
+                mode=self.memory.mode.value,
+                compressed=read.compressed,
+                uncompressed=read.was_uncompressed,
+                corrected=read.corrected,
+                ecc_blocks=len(read.ecc_reads),
+                row_hit=data_timing.row_hit,
+                latency_ns=round(latency_ns, 3),
+            )
 
         data = read.data
         if is_store:
@@ -272,18 +306,22 @@ class MultiCoreSystem:
         """Replay all traces to completion; cores interleave by time."""
         import heapq
 
-        heap = [(0.0, i) for i in range(len(self._cores))]
-        heapq.heapify(heap)
-        while heap:
-            _, index = heapq.heappop(heap)
-            core = self._cores[index]
-            epoch = next(core.epochs, None)
-            if epoch is None:
-                core.done = True
-                continue
-            self._run_epoch(index, epoch)
-            heapq.heappush(heap, (core.time_ns, index))
+        with self.obs.profile.phase("system.run"), self.obs.trace.span(
+            "system.run", cores=len(self._cores)
+        ):
+            heap = [(0.0, i) for i in range(len(self._cores))]
+            heapq.heapify(heap)
+            while heap:
+                _, index = heapq.heappop(heap)
+                core = self._cores[index]
+                epoch = next(core.epochs, None)
+                if epoch is None:
+                    core.done = True
+                    continue
+                self._run_epoch(index, epoch)
+                heapq.heappush(heap, (core.time_ns, index))
 
+        self.publish_metrics()
         return PerfResult(
             cores=tuple(core.result for core in self._cores),
             cpu_ghz=self.config.cpu_ghz,
@@ -293,3 +331,38 @@ class MultiCoreSystem:
             dram_writes=self.dram.stats.writes,
             row_hit_rate=self.dram.stats.row_hit_rate,
         )
+
+    def publish_metrics(self) -> None:
+        """Mirror every layer's stats into the shared metrics registry.
+
+        Idempotent — counters are written as absolute values — and a no-op
+        when observability is off.  Produces the unified tree::
+
+            controller.*   functional protection-mode counters
+            ecc_region.*   COP-ER entry allocation (live via ECCRegion)
+            llc.*          shared-LLC hits/misses/pins/overflow
+            dram.*         traffic, row hits, per-bank detail
+            system.*       instructions, per-core stall/compute time
+            profile.*      host wall-clock phases and hot-path counts
+        """
+        registry = self.obs.metrics
+        if not registry.enabled:
+            return
+        self.memory.publish_metrics(registry)
+        self.llc.publish_metrics(registry, prefix="llc")
+        self.dram.publish_metrics(registry, prefix="dram")
+        instructions = 0
+        epochs = 0
+        makespan_ns = 0.0
+        for index, core in enumerate(self._cores):
+            result = core.result
+            instructions += result.instructions
+            epochs += result.epochs
+            makespan_ns = max(makespan_ns, result.total_ns)
+            registry.set_gauge(f"system.core{index}.stall_ns", result.stall_ns)
+            registry.set_gauge(f"system.core{index}.compute_ns", result.compute_ns)
+        registry.update_counters(
+            "system", {"instructions": instructions, "epochs": epochs}
+        )
+        registry.set_gauge("system.makespan_ns", makespan_ns)
+        self.obs.profile.publish(registry)

@@ -23,9 +23,17 @@ class TestCommon:
     def test_scale_from_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "full")
         assert Scale.from_env() is Scale.FULL
-        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        monkeypatch.delenv("REPRO_SCALE")
         assert Scale.from_env() is Scale.SMALL
         assert Scale.from_env(default=Scale.SMOKE) is Scale.SMOKE
+
+    def test_scale_from_env_rejects_unknown(self, monkeypatch):
+        """A typo'd REPRO_SCALE fails loudly, naming the valid choices."""
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(ValueError, match="smoke, small, full"):
+            Scale.from_env()
+        monkeypatch.setenv("REPRO_SCALE", "")
+        assert Scale.from_env() is Scale.SMALL
 
     def test_table_row_column_access(self):
         table = ExperimentTable("t", ("a", "b"))

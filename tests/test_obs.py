@@ -1,0 +1,331 @@
+"""Unit tests for the observability subsystem (repro.obs)."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_OBS,
+    NULL_REGISTRY,
+    EventTracer,
+    MetricsRegistry,
+    NullTracer,
+    Observability,
+    get_obs,
+    render_tree,
+    set_obs,
+    summarize_trace,
+)
+from repro.obs.metrics import Histogram
+from repro.obs.profile import NullProfiler, Profiler
+
+
+class TestRegistry:
+    def test_counter_create_increment_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("controller.reads").inc()
+        registry.inc("controller.reads", 4)
+        registry.inc("dram.row_hits")
+        snap = registry.snapshot()
+        assert snap["counters"]["controller.reads"] == 5
+        assert snap["counters"]["dram.row_hits"] == 1
+
+    def test_counter_identity(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_gauge_set_and_max(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("llc.pinned_lines", 3)
+        registry.gauge("llc.pinned_lines").max(1)  # lower: keeps 3
+        assert registry.snapshot()["gauges"]["llc.pinned_lines"] == 3
+
+    def test_delta(self):
+        registry = MetricsRegistry()
+        registry.inc("a.b", 10)
+        before = registry.snapshot()
+        registry.inc("a.b", 7)
+        registry.inc("a.c", 2)
+        delta = MetricsRegistry.delta(before, registry.snapshot())
+        assert delta["counters"]["a.b"] == 7
+        assert delta["counters"]["a.c"] == 2
+
+    def test_merge_registries(self):
+        """Merging per-core registries sums counters, maxes gauges."""
+        core0, core1 = MetricsRegistry(), MetricsRegistry()
+        core0.inc("dram.reads", 5)
+        core1.inc("dram.reads", 7)
+        core0.set_gauge("peak", 10)
+        core1.set_gauge("peak", 4)
+        core0.observe("lat", 1.0)
+        core1.observe("lat", 100.0)
+        merged = MetricsRegistry().merge(core0).merge(core1)
+        snap = merged.snapshot()
+        assert snap["counters"]["dram.reads"] == 12
+        assert snap["gauges"]["peak"] == 10
+        assert snap["histograms"]["lat"]["count"] == 2
+        assert snap["histograms"]["lat"]["min"] == 1.0
+        assert snap["histograms"]["lat"]["max"] == 100.0
+
+    def test_merge_accepts_snapshot_dict(self):
+        registry = MetricsRegistry()
+        registry.inc("x", 3)
+        other = MetricsRegistry().merge(registry.snapshot())
+        assert other.counter("x").value == 3
+
+    def test_update_counters_idempotent(self):
+        registry = MetricsRegistry()
+        registry.update_counters("controller", {"reads": 10})
+        registry.update_counters("controller", {"reads": 10})
+        assert registry.counter("controller.reads").value == 10
+
+    def test_render_tree_groups_by_dots(self):
+        registry = MetricsRegistry()
+        registry.inc("dram.row_hits", 3)
+        registry.inc("dram.row_misses", 1)
+        registry.inc("llc.hits", 9)
+        text = registry.render_tree()
+        assert "dram" in text and "llc" in text
+        assert "row_hits" in text
+        # Children are indented under their parent namespace.
+        lines = text.splitlines()
+        dram_index = lines.index("dram")
+        assert lines[dram_index + 1].startswith("  ")
+
+    def test_render_tree_empty(self):
+        assert "no metrics" in render_tree({"counters": {}})
+
+
+class TestHistogram:
+    def test_count_total_min_max_mean(self):
+        hist = Histogram("lat")
+        for value in (1.0, 2.0, 4.0, 8.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.total == 15.0
+        assert hist.min == 1.0
+        assert hist.max == 8.0
+        assert hist.mean == pytest.approx(3.75)
+
+    def test_percentiles_monotone_and_bounded(self):
+        hist = Histogram("lat")
+        for value in range(1, 1001):
+            hist.observe(float(value))
+        p50, p90, p99 = (hist.percentile(p) for p in (50, 90, 99))
+        assert hist.min <= p50 <= p90 <= p99 <= hist.max
+        # Log2 buckets: estimates land within a factor of 2 of the truth.
+        assert 250 <= p50 <= 1000
+        assert p99 >= 500
+
+    def test_percentile_deterministic(self):
+        a, b = Histogram("x"), Histogram("x")
+        for value in (3.0, 7.0, 120.0, 5000.0):
+            a.observe(value)
+            b.observe(value)
+        assert a.percentile(90) == b.percentile(90)
+        assert a.as_dict() == b.as_dict()
+
+    def test_empty_percentile(self):
+        assert Histogram("x").percentile(99) == 0.0
+        assert Histogram("x").as_dict() == {"count": 0}
+
+    def test_merge_dict_roundtrip(self):
+        a, b = Histogram("x"), Histogram("x")
+        for value in (1.0, 10.0):
+            a.observe(value)
+        b.merge_dict(a.as_dict())
+        b.merge_dict(a.as_dict())
+        assert b.count == 4
+        assert b.min == 1.0 and b.max == 10.0
+
+
+class TestTracer:
+    def test_jsonl_events_parse(self):
+        sink = io.StringIO()
+        tracer = EventTracer(sink)
+        tracer.emit("access", addr=64, latency_ns=31.25)
+        with tracer.span("phase1"):
+            pass
+        records = [json.loads(line) for line in sink.getvalue().splitlines()]
+        assert records[0]["kind"] == "access"
+        assert records[0]["addr"] == 64
+        assert records[1]["kind"] == "span"
+        assert records[1]["name"] == "phase1"
+        assert "wall_ms" in records[1]
+
+    def test_sampling_deterministic_under_fixed_seed(self):
+        def kept(seed):
+            sink = io.StringIO()
+            tracer = EventTracer(sink, sample_rate=0.3, seed=seed)
+            return [
+                i for i in range(200) if tracer.emit("access", index=i)
+            ]
+
+        assert kept(seed=42) == kept(seed=42)
+        assert kept(seed=42) != kept(seed=43)
+
+    def test_sampling_rate_respected(self):
+        sink = io.StringIO()
+        tracer = EventTracer(sink, sample_rate=0.1, seed=1)
+        for i in range(2000):
+            tracer.emit("access", index=i)
+        assert 100 < tracer.emitted < 320
+        assert tracer.emitted + tracer.dropped == 2000
+
+    def test_spans_never_sampled_out(self):
+        sink = io.StringIO()
+        tracer = EventTracer(sink, sample_rate=0.0, seed=1)
+        with tracer.span("always"):
+            pass
+        assert '"span"' in sink.getvalue()
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            EventTracer(io.StringIO(), sample_rate=1.5)
+
+    def test_file_sink_and_summary(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with EventTracer(path) as tracer:
+            tracer.emit("access", latency_ns=10.0)
+            tracer.emit("access", latency_ns=30.0)
+            tracer.emit("writeback", addr=128)
+            with tracer.span("run"):
+                pass
+        summary = summarize_trace(path)
+        assert summary["events"] == 4
+        assert summary["by_kind"] == {"access": 2, "writeback": 1, "span": 1}
+        assert summary["latency_ns"]["count"] == 2
+        assert summary["spans"]["run"]["count"] == 1
+
+    def test_summary_rejects_malformed(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "access"}\nnot json\n')
+        with pytest.raises(ValueError, match="malformed"):
+            summarize_trace(path)
+
+    def test_null_tracer_is_silent(self):
+        tracer = NullTracer()
+        assert tracer.emit("access") is False
+        with tracer.span("x"):
+            pass
+        assert not tracer.enabled
+
+
+class TestProfiler:
+    def test_phase_timing_and_counts(self):
+        profiler = Profiler()
+        with profiler.phase("run"):
+            pass
+        with profiler.phase("run"):
+            pass
+        profiler.count("misses", 5)
+        summary = profiler.summary()
+        assert summary["phases"]["run"]["calls"] == 2
+        assert summary["phases"]["run"]["seconds"] >= 0.0
+        assert summary["counts"]["misses"] == 5
+        assert "run" in profiler.report()
+
+    def test_publish_into_registry(self):
+        profiler = Profiler()
+        with profiler.phase("run"):
+            pass
+        profiler.count("misses", 3)
+        registry = MetricsRegistry()
+        profiler.publish(registry)
+        snap = registry.snapshot()
+        assert snap["counters"]["profile.misses"] == 3
+        assert "profile.run.seconds" in snap["gauges"]
+
+    def test_null_profiler_noop(self):
+        profiler = NullProfiler()
+        with profiler.phase("x"):
+            pass
+        profiler.count("x")
+        assert profiler.summary() == {"phases": {}, "counts": {}}
+
+
+class TestObservabilityBundle:
+    def test_null_obs_disabled_and_empty(self):
+        assert not NULL_OBS.enabled
+        assert NULL_OBS.snapshot() == {}
+        NULL_OBS.metrics.inc("anything")
+        assert NULL_REGISTRY.snapshot()["counters"] == {}
+
+    def test_create_is_enabled(self):
+        obs = Observability.create()
+        assert obs.enabled
+        obs.metrics.inc("x")
+        assert obs.snapshot()["counters"]["x"] == 1
+
+    def test_from_env_default_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert Observability.from_env() is NULL_OBS
+
+    def test_from_env_enabled(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_OBS", "1")
+        monkeypatch.setenv("REPRO_TRACE", str(tmp_path / "t.jsonl"))
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "0.5")
+        obs = Observability.from_env()
+        assert obs.enabled
+        assert obs.trace.sample_rate == 0.5
+        obs.close()
+
+    def test_get_set_obs(self):
+        try:
+            obs = Observability.create()
+            set_obs(obs)
+            assert get_obs() is obs
+        finally:
+            set_obs(NULL_OBS)
+
+
+class TestStatsViews:
+    def test_controller_stats_as_dict_covers_all_fields(self):
+        from dataclasses import fields
+
+        from repro.core.controller import ControllerStats
+
+        stats = ControllerStats(reads=3, alias_rejects=1)
+        data = stats.as_dict()
+        assert data["reads"] == 3
+        assert data["alias_rejects"] == 1
+        assert set(data) == {f.name for f in fields(ControllerStats)}
+
+    def test_controller_stats_merge(self):
+        from repro.core.controller import ControllerStats
+
+        a = ControllerStats(reads=3, writes=2)
+        b = ControllerStats(reads=4, ecc_block_reads=5)
+        a.merge(b)
+        assert a.reads == 7
+        assert a.writes == 2
+        assert a.ecc_block_reads == 5
+
+    def test_cache_and_dram_stats_views(self):
+        from repro.cache.cache import CacheStats
+        from repro.memory.dram import DRAMStats
+
+        cache = CacheStats(hits=2, misses=1)
+        cache.merge(CacheStats(hits=1, alias_pins=4))
+        assert cache.hits == 3 and cache.alias_pins == 4
+
+        dram = DRAMStats(reads=5, row_hits=3, row_misses=2)
+        dram.per_bank[(0, 0, 1)] = [3, 2]
+        other = DRAMStats(reads=1, row_hits=1)
+        other.per_bank[(0, 0, 1)] = [1, 0]
+        dram.merge(other)
+        assert dram.reads == 6
+        assert dram.per_bank[(0, 0, 1)] == [4, 2]
+        assert dram.as_dict()["accesses"] == 6
+
+    def test_scorecard_controller_view_roundtrip(self):
+        from repro.core.controller import ControllerStats
+        from repro.experiments.report import controller_stats_from_snapshot
+
+        stats = ControllerStats(reads=9, alias_rejects=2)
+        registry = MetricsRegistry()
+        registry.update_counters("controller", stats.as_dict())
+        rebuilt = controller_stats_from_snapshot(registry.snapshot())
+        assert rebuilt.as_dict() == stats.as_dict()
