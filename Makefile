@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench results report examples obs-smoke clean
+.PHONY: install test bench results report examples obs-smoke par-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -33,6 +33,20 @@ obs-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli obs \
 		--metrics /tmp/cop-obs-results/fig12.json \
 		--trace-file /tmp/cop-obs-trace.jsonl --check
+
+# Determinism gate for the parallel runner: one figure serially and with
+# --jobs 2 into separate results dirs, then byte-compare the artifacts
+# (see docs/parallel-runs.md).
+par-smoke:
+	REPRO_RESULTS_DIR=/tmp/cop-par-serial PYTHONPATH=src \
+		$(PYTHON) -m repro.experiments.cli fig12 --scale smoke \
+		--jobs 1 --no-cache
+	REPRO_RESULTS_DIR=/tmp/cop-par-parallel PYTHONPATH=src \
+		$(PYTHON) -m repro.experiments.cli fig12 --scale smoke \
+		--jobs 2 --no-cache
+	diff /tmp/cop-par-serial/fig12.json /tmp/cop-par-parallel/fig12.json
+	diff /tmp/cop-par-serial/fig12.txt /tmp/cop-par-parallel/fig12.txt
+	@echo "par-smoke: parallel output is byte-identical to serial"
 
 clean:
 	rm -rf results .pytest_cache .hypothesis

@@ -6,6 +6,14 @@ Examples::
     cop-experiments fig11 --scale smoke  # quick performance sanity run
     cop-experiments all --scale full     # the whole evaluation
 
+Parallelism (simulation-matrix experiments fan out over processes;
+results are bit-identical to serial runs and cached under
+``results/.cache/`` — see docs/parallel-runs.md)::
+
+    cop-experiments fig11 --scale smoke --jobs 4
+    cop-experiments all --scale full --jobs 8
+    cop-experiments fig11 --no-cache     # force re-simulation
+
 Observability::
 
     cop-experiments fig11 --obs                    # embed a metrics snapshot
@@ -93,6 +101,23 @@ def _run_obs_command(args) -> int:
     return status
 
 
+def _call_experiment(fn, scale, workers=None, use_cache=None):
+    """Invoke a harness, forwarding runner options only where supported.
+
+    The simulation-matrix harnesses (Figs. 10-12, sweeps, mixes) accept
+    ``workers``/``use_cache``; the cheap analytic ones take just a scale.
+    """
+    import inspect
+
+    params = inspect.signature(fn).parameters
+    kwargs = {}
+    if "workers" in params:
+        kwargs["workers"] = workers
+    if "use_cache" in params:
+        kwargs["use_cache"] = use_cache
+    return fn(scale, **kwargs)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="cop-experiments",
@@ -109,8 +134,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--scale",
         choices=[s.value for s in Scale],
-        default=Scale.from_env().value,
-        help="sample/epoch budget (default: small, or $REPRO_SCALE)",
+        default=None,
+        help="sample/epoch budget (default: small, or $REPRO_SCALE; an "
+        "explicit flag wins over the environment)",
+    )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallel simulation workers (default: $REPRO_JOBS or 1; "
+        "1 runs serially, results are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache under results/.cache "
+        "(also: REPRO_NO_CACHE=1)",
     )
     parser.add_argument(
         "--chart",
@@ -160,8 +201,10 @@ def main(argv: list[str] | None = None) -> int:
         "metrics snapshot is non-empty",
     )
     args = parser.parse_args(argv)
-    scale = Scale(args.scale)
 
+    # Subcommands that run no simulation must not choke on a bad
+    # REPRO_SCALE; scale resolution is deferred until it is needed, and
+    # an explicit --scale always wins over the environment.
     if args.experiment == "obs":
         return _run_obs_command(args)
 
@@ -170,6 +213,21 @@ def main(argv: list[str] | None = None) -> int:
 
         report.main()
         return 0
+
+    if args.scale is not None:
+        scale = Scale(args.scale)
+    else:
+        try:
+            scale = Scale.from_env()
+        except ValueError as exc:
+            parser.error(str(exc))
+
+    if args.trace_out and (args.jobs or 0) > 1:
+        print(
+            "[note] --trace requires in-process execution; "
+            "running serially (--jobs 1)"
+        )
+        args.jobs = 1
 
     obs = None
     if args.obs or args.trace_out:
@@ -183,8 +241,11 @@ def main(argv: list[str] | None = None) -> int:
         set_obs(obs)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    use_cache = False if args.no_cache else None
     for name in names:
-        table = EXPERIMENTS[name](scale)
+        table = _call_experiment(
+            EXPERIMENTS[name], scale, workers=args.jobs, use_cache=use_cache
+        )
         if obs is not None:
             table.metrics = obs.snapshot()
         print(table.to_text())

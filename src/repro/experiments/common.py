@@ -124,12 +124,18 @@ class ExperimentTable:
         """Render one column as a horizontal bar chart (figures are bar
         charts in the paper; this keeps the reproduction eyeball-able in a
         terminal)."""
-        column = column or self.columns[0]
+        if column is None and self.columns:
+            column = self.columns[0]
+        title = f"{self.title} — {column}" if column else self.title
+        if not self.rows:
+            # An empty table (nothing ran / everything filtered) renders
+            # as its title alone rather than raising on max() of nothing.
+            return title
         index = self.columns.index(column)
         values = [values[index] for _, values in self.rows]
         top = max(max(values, default=0.0), 1e-12)
         label_width = max(len(label) for label, _ in self.rows)
-        lines = [f"{self.title} — {column}"]
+        lines = [title]
         for label, row in self.rows:
             value = row[index]
             bar = "#" * max(0, round(width * value / top))
@@ -172,10 +178,21 @@ def results_dir() -> Path:
 
 
 def geomean(values: Sequence[float]) -> float:
-    """Geometric mean (Fig. 11 reports a geomean across benchmarks)."""
-    values = [v for v in values if v > 0]
+    """Geometric mean (Fig. 11 reports a geomean across benchmarks).
+
+    Zero/negative entries are rejected rather than silently dropped: a
+    normalized IPC of 0 means a run failed, and dropping it would
+    *inflate* the reported geomean.  An empty sequence yields 0.0.
+    """
+    values = list(values)
     if not values:
         return 0.0
+    bad = [v for v in values if v <= 0]
+    if bad:
+        raise ValueError(
+            f"geomean over non-positive values {bad}: a zero/negative "
+            "normalized IPC means a run failed — refusing to drop it"
+        )
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 

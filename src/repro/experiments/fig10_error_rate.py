@@ -13,10 +13,12 @@ single-bit failure model, where every corrected upset is a removed failure.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.config import COPConfig
 from repro.core.controller import ProtectionMode
 from repro.experiments.common import ExperimentTable, Scale
-from repro.experiments.simruns import run_benchmark
+from repro.experiments.runner import SimJob, run_jobs
 from repro.workloads.profiles import MEMORY_INTENSIVE, PROFILES
 
 __all__ = ["run", "main"]
@@ -24,26 +26,36 @@ __all__ = ["run", "main"]
 _COLUMNS = ("COP 8-byte", "COP 4-byte", "COP-ER 4-byte")
 
 
-def run(scale: Scale = Scale.SMALL) -> ExperimentTable:
+def run(
+    scale: Scale = Scale.SMALL,
+    workers: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+) -> ExperimentTable:
     table = ExperimentTable(
         title="Figure 10: soft-error-rate reduction vs unprotected DRAM",
         columns=_COLUMNS,
     )
-    per_suite: dict[str, list[tuple[float, ...]]] = {}
     # Reliability runs are single-core (the paper computes a per-benchmark
     # error rate); contention does not change residency shares.
-    for name in MEMORY_INTENSIVE:
-        cop8 = run_benchmark(
-            name, ProtectionMode.COP, scale, cores=1,
-            cop_config=COPConfig.eight_byte(),
-        ).vulnerability.error_rate_reduction
-        cop4 = run_benchmark(
-            name, ProtectionMode.COP, scale, cores=1,
-        ).vulnerability.error_rate_reduction
-        coper = run_benchmark(
-            name, ProtectionMode.COP_ER, scale, cores=1,
-        ).vulnerability.error_rate_reduction
-        row = (cop8, cop4, coper)
+    variants = (
+        (ProtectionMode.COP, COPConfig.eight_byte()),
+        (ProtectionMode.COP, None),
+        (ProtectionMode.COP_ER, None),
+    )
+    jobs = [
+        SimJob(benchmark=name, mode=mode, scale=scale, cores=1, cop_config=config)
+        for name in MEMORY_INTENSIVE
+        for mode, config in variants
+    ]
+    results = run_jobs(jobs, workers=workers, use_cache=use_cache)
+    per_suite: dict[str, list[tuple[float, ...]]] = {}
+    for bench_index, name in enumerate(MEMORY_INTENSIVE):
+        row = tuple(
+            results[
+                bench_index * len(variants) + variant_index
+            ].vulnerability.error_rate_reduction
+            for variant_index in range(len(variants))
+        )
         table.add(name, row)
         per_suite.setdefault(PROFILES[name].suite, []).append(row)
 

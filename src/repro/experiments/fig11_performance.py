@@ -10,9 +10,11 @@ writeback — trails COP-ER by ~8 %.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.controller import ProtectionMode
 from repro.experiments.common import ExperimentTable, Scale, geomean
-from repro.experiments.simruns import run_benchmark
+from repro.experiments.runner import SimJob, run_jobs
 from repro.workloads.profiles import MEMORY_INTENSIVE, PROFILES
 
 __all__ = ["MODES", "run", "main"]
@@ -25,20 +27,29 @@ MODES = (
 )
 
 
-def run(scale: Scale = Scale.SMALL, cores: int = 4) -> ExperimentTable:
+def run(
+    scale: Scale = Scale.SMALL,
+    cores: int = 4,
+    workers: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+) -> ExperimentTable:
     table = ExperimentTable(
         title="Figure 11: IPC normalized to the unprotected configuration",
         columns=tuple(label for label, _ in MODES),
         percent=False,
     )
+    jobs = [
+        SimJob(benchmark=name, mode=mode, scale=scale, cores=cores, track=False)
+        for name in MEMORY_INTENSIVE
+        for _, mode in MODES
+    ]
+    results = run_jobs(jobs, workers=workers, use_cache=use_cache)
     per_suite: dict[str, list[tuple[float, ...]]] = {}
-    for name in MEMORY_INTENSIVE:
-        ipcs = {}
-        for label, mode in MODES:
-            outcome = run_benchmark(
-                name, mode, scale, cores=cores, track=False
-            )
-            ipcs[label] = outcome.perf.ipc
+    for bench_index, name in enumerate(MEMORY_INTENSIVE):
+        ipcs = {
+            label: results[bench_index * len(MODES) + mode_index].perf.ipc
+            for mode_index, (label, _) in enumerate(MODES)
+        }
         base = ipcs["Unprot."] or 1.0
         row = tuple(ipcs[label] / base for label, _ in MODES)
         table.add(name, row)

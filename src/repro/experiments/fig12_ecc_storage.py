@@ -11,42 +11,46 @@ footprint.  The paper reports an 80 % average reduction.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.controller import ProtectionMode
 from repro.core.coper import ECCRegion
 from repro.experiments.common import ExperimentTable, Scale
-from repro.experiments.simruns import run_benchmark
-from repro.workloads.profiles import MEMORY_INTENSIVE
+from repro.experiments.runner import SimJob, run_jobs
+from repro.workloads.profiles import MEMORY_INTENSIVE, PROFILES
 
 __all__ = ["run", "main"]
 
 _BASELINE_BYTES_PER_BLOCK = 2
 
 
-def run(scale: Scale = Scale.SMALL) -> ExperimentTable:
+def run(
+    scale: Scale = Scale.SMALL,
+    workers: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+) -> ExperimentTable:
     table = ExperimentTable(
         title="Figure 12: ECC storage reduction of COP-ER vs the ECC-Region baseline",
         columns=("Reduction",),
     )
+    jobs = [
+        SimJob(
+            benchmark=name,
+            mode=ProtectionMode.COP_ER,
+            scale=scale,
+            cores=1,
+            track=False,
+        )
+        for name in MEMORY_INTENSIVE
+    ]
+    results = run_jobs(jobs, workers=workers, use_cache=use_cache)
     reductions = []
-    for name in MEMORY_INTENSIVE:
-        outcome = run_benchmark(
-            name, ProtectionMode.COP_ER, scale, cores=1, track=False
-        )
-        memory = outcome.memory
-        touched_blocks = len(
-            [a for a in memory.contents if a < memory.region_base]
-        )
+    for name, result in zip(MEMORY_INTENSIVE, results):
         # Measure the ever-incompressible fraction on the simulated
         # footprint, then size both designs for the benchmark's full
         # footprint so the (fixed) valid-bit tree overhead amortises the
         # way it would at the paper's memory sizes.
-        fraction = (
-            len(memory.ever_incompressible) / touched_blocks
-            if touched_blocks
-            else 0.0
-        )
-        from repro.workloads.profiles import PROFILES
-
+        fraction = result.memory.incompressible_fraction
         full_blocks = PROFILES[name].footprint_mb * (1 << 20) // 64
         baseline_bytes = full_blocks * _BASELINE_BYTES_PER_BLOCK
         coper_bytes = ECCRegion.region_bytes(round(fraction * full_blocks))

@@ -11,15 +11,11 @@ multiprogrammed metric.
 
 from __future__ import annotations
 
-from repro.core.controller import ProtectedMemory, ProtectionMode
+from typing import Optional
+
+from repro.core.controller import ProtectionMode
 from repro.experiments.common import ExperimentTable, Scale, geomean
-from repro.experiments.simruns import _CORE_STRIDE, epochs_for
-from repro.reliability.parma import VulnerabilityTracker
-from repro.simulation.config import SCALED_SYSTEM
-from repro.simulation.system import MultiCoreSystem
-from repro.workloads.blocks import BlockSource
-from repro.workloads.profiles import PROFILES
-from repro.workloads.tracegen import TraceGenerator
+from repro.experiments.runner import SimJob, run_jobs
 
 __all__ = ["MIXES", "run", "main"]
 
@@ -39,52 +35,43 @@ _MODES = (
 )
 
 
-def _run_mix(
-    benchmarks: tuple[str, ...], mode: ProtectionMode, scale: Scale, seed: int
-):
-    memory = ProtectedMemory(mode)
-    system = SCALED_SYSTEM
-    traces, sources, ipcs = [], [], []
-    for core, name in enumerate(benchmarks):
-        profile = PROFILES[name]
-        footprint = max(
-            2048,
-            profile.footprint_mb * (1 << 20) // 64 // system.footprint_divider,
-        )
-        generator = TraceGenerator(
-            profile,
-            seed=seed * 100 + core,
-            footprint_blocks=footprint,
-            base_addr=core * _CORE_STRIDE,
-        )
-        traces.append(generator.epochs(epochs_for(scale)))
-        sources.append(BlockSource(profile, seed=seed * 100 + core))
-        ipcs.append(profile.perfect_ipc)
-    tracker = VulnerabilityTracker()
-    sim = MultiCoreSystem(memory, traces, sources, ipcs, system, tracker=tracker)
-    perf = sim.run()
-    return perf.core_ipcs, tracker.report()
-
-
-def run(scale: Scale = Scale.SMALL) -> ExperimentTable:
+def run(
+    scale: Scale = Scale.SMALL,
+    workers: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+) -> ExperimentTable:
     table = ExperimentTable(
         title="Multiprogrammed 4-core mixes: weighted speedup per scheme",
         columns=tuple(label for label, _ in _MODES) + ("COP SER red.",),
         percent=False,
     )
-    for mix_name, benchmarks in MIXES.items():
+    mixes = tuple(MIXES.items())
+    jobs = [
+        SimJob(
+            benchmark=tuple(benchmarks),
+            mode=mode,
+            scale=scale,
+            cores=len(benchmarks),
+            seed=7,
+        )
+        for _, benchmarks in mixes
+        for _, mode in _MODES
+    ]
+    results = run_jobs(jobs, workers=workers, use_cache=use_cache)
+    for mix_index, (mix_name, _) in enumerate(mixes):
         base_ipcs = None
         speedups = {}
         cop_reduction = 0.0
-        for label, mode in _MODES:
-            core_ipcs, report = _run_mix(benchmarks, mode, scale, seed=7)
+        for mode_index, (label, mode) in enumerate(_MODES):
+            result = results[mix_index * len(_MODES) + mode_index]
+            core_ipcs = result.perf.core_ipcs
             if base_ipcs is None:
                 base_ipcs = core_ipcs
             speedups[label] = geomean(
                 [ipc / base for ipc, base in zip(core_ipcs, base_ipcs)]
             )
             if mode is ProtectionMode.COP:
-                cop_reduction = report.error_rate_reduction
+                cop_reduction = result.vulnerability.error_rate_reduction
         table.add(
             mix_name,
             tuple(speedups[label] for label, _ in _MODES) + (cop_reduction,),

@@ -1,0 +1,486 @@
+"""Parallel experiment runner with an on-disk result cache.
+
+The figure harnesses (Figs. 10-12, the sweeps, the mixes) all reduce to
+the same shape: a |benchmark| x |mode| matrix of independent simulations
+whose outputs are assembled into one table.  This module expresses each
+cell as a picklable :class:`SimJob`, fans batches out over a
+``ProcessPoolExecutor`` (worker count from ``--jobs``/``REPRO_JOBS``),
+and memoises completed simulations in a content-addressed cache under
+``results/.cache/`` so ``report`` and repeated figure regeneration reuse
+them instantly.
+
+Determinism contract
+--------------------
+
+Parallel runs are **bit-identical** to serial runs:
+
+* every job carries its own seeds — no shared RNG or global state;
+* each job runs against a *fresh* per-job observability bundle (even on
+  the serial path), and the per-job metrics snapshots are merged into
+  the caller's registry **in job-list order**, so counter sums,
+  gauge maxima and histogram merges are order-stable however the jobs
+  were scheduled;
+* host wall-clock gauges (``profile.*.seconds``) are stripped from job
+  snapshots before merging/caching — they are the one nondeterministic
+  quantity a run produces.
+
+Cache keys hash the full job spec (benchmark/mode/scale/cores/seed/
+configs, plus whether metrics were collected) together with a
+code-version salt derived from the simulator's source files, so editing
+the simulator invalidates stale results automatically.  Escape hatches:
+``--no-cache`` / ``REPRO_NO_CACHE=1``.
+
+Event tracing (``--trace``) requires the simulation to actually execute
+in-process, so an enabled tracer forces serial, uncached execution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.core.config import COPConfig
+from repro.core.controller import ProtectedMemory, ProtectionMode
+from repro.experiments.common import Scale, results_dir
+from repro.experiments.simruns import SimOutcome, run_benchmark, run_mix
+from repro.obs import (
+    NULL_OBS,
+    NULL_TRACER,
+    MetricsRegistry,
+    Observability,
+    Profiler,
+    get_obs,
+)
+from repro.reliability.parma import VulnerabilityReport
+from repro.simulation.config import SCALED_SYSTEM, SystemConfig
+from repro.simulation.system import PerfResult
+
+__all__ = [
+    "SimJob",
+    "SimResult",
+    "MemorySummary",
+    "ResultCache",
+    "run_jobs",
+    "configure",
+    "reset",
+    "resolve_workers",
+    "cache_enabled",
+    "code_salt",
+]
+
+
+# ---------------------------------------------------------------------------
+# job / result types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MemorySummary:
+    """Picklable digest of a run's :class:`ProtectedMemory` end state.
+
+    Carries everything the figure harnesses read off the functional
+    memory (Fig. 12's storage accounting) without shipping the full
+    block-content dictionaries between processes.
+    """
+
+    mode: str
+    resident_blocks: int
+    touched_data_blocks: int
+    ever_incompressible: int
+    live_entries: int = 0
+    peak_entries: int = 0
+
+    @classmethod
+    def from_memory(cls, memory: ProtectedMemory) -> "MemorySummary":
+        touched = sum(1 for a in memory.contents if a < memory.region_base)
+        return cls(
+            mode=memory.mode.value,
+            resident_blocks=len(memory.contents),
+            touched_data_blocks=touched,
+            ever_incompressible=len(memory.ever_incompressible),
+            live_entries=len(memory.region) if memory.region is not None else 0,
+            peak_entries=(
+                memory.region.peak_entries if memory.region is not None else 0
+            ),
+        )
+
+    @property
+    def incompressible_fraction(self) -> float:
+        """Share of touched data blocks that were ever incompressible."""
+        if not self.touched_data_blocks:
+            return 0.0
+        return self.ever_incompressible / self.touched_data_blocks
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One picklable simulation: (benchmark(s), mode, scale, config, seed).
+
+    ``benchmark`` is a single name (rate-mode / threaded run via
+    :func:`run_benchmark`) or a tuple of names (heterogeneous mix, one
+    program per core, via :func:`run_mix`).
+    """
+
+    benchmark: Union[str, tuple]
+    mode: ProtectionMode
+    scale: Scale = Scale.SMALL
+    cores: int = 4
+    cop_config: Optional[COPConfig] = None
+    system: SystemConfig = SCALED_SYSTEM
+    seed: int = 11
+    track: bool = True
+
+    @property
+    def is_mix(self) -> bool:
+        return isinstance(self.benchmark, tuple)
+
+    def spec(self) -> dict:
+        """Stable, JSON-serialisable description of this job (cache key)."""
+        return {
+            "benchmark": (
+                list(self.benchmark) if self.is_mix else self.benchmark
+            ),
+            "mode": self.mode.value,
+            "scale": self.scale.value,
+            "cores": self.cores,
+            "cop_config": (
+                _plain(asdict(self.cop_config))
+                if self.cop_config is not None
+                else None
+            ),
+            "system": _plain(asdict(self.system)),
+            "seed": self.seed,
+            "track": self.track,
+        }
+
+    def key(self, obs: bool = False) -> str:
+        """Content hash of the spec + code salt (+ metrics-collection flag)."""
+        payload = json.dumps(
+            {"spec": self.spec(), "obs": obs, "salt": code_salt()},
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def label(self) -> str:
+        bench = "+".join(self.benchmark) if self.is_mix else self.benchmark
+        return f"{bench}/{self.mode.value}/{self.scale.value}"
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Picklable outcome of one :class:`SimJob` (what crosses processes)."""
+
+    perf: PerfResult
+    vulnerability: VulnerabilityReport
+    memory: MemorySummary
+    #: Sanitised per-job metrics snapshot ({} when metrics were off).
+    metrics: dict = field(default_factory=dict)
+
+
+def _plain(value):
+    """Recursively reduce dataclass-dict output to plain JSON types."""
+    if isinstance(value, Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {k: _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    return value
+
+
+# ---------------------------------------------------------------------------
+# code-version salt
+# ---------------------------------------------------------------------------
+
+_code_salt: Optional[str] = None
+
+#: Harness modules whose edits change *table assembly*, not simulation
+#: outcomes — excluded from the salt so cached simulations survive them.
+_SALT_EXCLUDED_PREFIX = "experiments/"
+_SALT_INCLUDED_EXPERIMENT_FILES = frozenset(
+    {"experiments/simruns.py", "experiments/common.py"}
+)
+
+
+def code_salt() -> str:
+    """Hash of the simulator's source files (the cache-version stamp).
+
+    Any edit to the packages that determine a simulation's outcome
+    (core/cache/memory/simulation/workloads/reliability/compression/ecc,
+    plus ``experiments/simruns.py``) changes the salt and invalidates
+    every cached result.  Experiment *assembly* modules are excluded:
+    re-titling a table should not discard hours of simulation.
+    """
+    global _code_salt
+    if _code_salt is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(root).as_posix()
+            if (
+                rel.startswith(_SALT_EXCLUDED_PREFIX)
+                and rel not in _SALT_INCLUDED_EXPERIMENT_FILES
+            ):
+                continue
+            digest.update(rel.encode())
+            digest.update(path.read_bytes())
+        _code_salt = digest.hexdigest()
+    return _code_salt
+
+
+# ---------------------------------------------------------------------------
+# result cache
+# ---------------------------------------------------------------------------
+
+
+class ResultCache:
+    """Content-addressed on-disk store of completed :class:`SimResult`\\ s.
+
+    Files live under ``<root>/<key[:2]>/<key>.pkl`` (default root:
+    ``results/.cache/``).  Corrupt or unreadable entries are treated as
+    misses — the cache can always be deleted wholesale.
+    """
+
+    def __init__(
+        self, root: Union[str, Path, None] = None, enabled: bool = True
+    ) -> None:
+        self.root = Path(root) if root is not None else results_dir() / ".cache"
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def load(self, key: str) -> Optional[SimResult]:
+        if not self.enabled:
+            return None
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as fh:
+                result = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            self.misses += 1
+            return None
+        if not isinstance(result, SimResult):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: str, result: SimResult) -> None:
+        if not self.enabled:
+            return
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic publish: concurrent writers of the same key are benign
+        # (identical content), partial writes are never visible.
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("wb") as fh:
+            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(path)
+        self.stores += 1
+
+
+# ---------------------------------------------------------------------------
+# worker-count / cache-policy resolution
+# ---------------------------------------------------------------------------
+
+_configured_workers: Optional[int] = None
+_configured_cache: Optional[bool] = None
+
+
+def configure(
+    workers: Optional[int] = None, use_cache: Optional[bool] = None
+) -> None:
+    """Set process-wide runner defaults (the CLI's --jobs / --no-cache).
+
+    ``None`` leaves a setting untouched; :func:`reset` clears both.
+    """
+    global _configured_workers, _configured_cache
+    if workers is not None:
+        _configured_workers = workers
+    if use_cache is not None:
+        _configured_cache = use_cache
+
+
+def reset() -> None:
+    """Clear :func:`configure` state (tests)."""
+    global _configured_workers, _configured_cache
+    _configured_workers = None
+    _configured_cache = None
+
+
+def _env_truthy(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+def resolve_workers(explicit: Optional[int] = None) -> int:
+    """Worker count: explicit arg > configure() > $REPRO_JOBS > 1 (serial)."""
+    if explicit is None:
+        explicit = _configured_workers
+    if explicit is None:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        if raw:
+            try:
+                explicit = int(raw)
+            except ValueError:
+                raise ValueError(f"REPRO_JOBS={raw!r} is not an integer")
+    workers = explicit if explicit is not None else 1
+    return max(1, workers)
+
+
+def cache_enabled(explicit: Optional[bool] = None) -> bool:
+    """Cache policy: explicit arg > configure() > not $REPRO_NO_CACHE."""
+    if explicit is not None:
+        return explicit
+    if _configured_cache is not None:
+        return _configured_cache
+    return not _env_truthy("REPRO_NO_CACHE")
+
+
+def _fork_available() -> bool:
+    import multiprocessing
+
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+# ---------------------------------------------------------------------------
+# job execution
+# ---------------------------------------------------------------------------
+
+
+def _sanitize_snapshot(snapshot: dict) -> dict:
+    """Drop host wall-clock gauges — the only nondeterministic metrics."""
+    if not snapshot:
+        return snapshot
+    gauges = {
+        name: value
+        for name, value in snapshot.get("gauges", {}).items()
+        if not (name.startswith("profile.") and name.endswith(".seconds"))
+    }
+    return {**snapshot, "gauges": gauges}
+
+
+def _execute_job(job: SimJob, collect_metrics: bool, tracer=None) -> SimResult:
+    """Run one job against a fresh observability bundle (worker entry).
+
+    ``tracer`` is only ever non-None on the in-process serial path — a
+    tracer cannot cross a process boundary.
+    """
+    if collect_metrics or tracer is not None:
+        obs = Observability(
+            metrics=MetricsRegistry() if collect_metrics else NULL_OBS.metrics,
+            trace=tracer if tracer is not None else NULL_TRACER,
+            profile=Profiler() if collect_metrics else NULL_OBS.profile,
+        )
+    else:
+        obs = NULL_OBS
+    if job.is_mix:
+        outcome: SimOutcome = run_mix(
+            job.benchmark,
+            job.mode,
+            job.scale,
+            system=job.system,
+            seed=job.seed,
+            track=job.track,
+            obs=obs,
+        )
+    else:
+        outcome = run_benchmark(
+            job.benchmark,
+            job.mode,
+            job.scale,
+            cores=job.cores,
+            cop_config=job.cop_config,
+            system=job.system,
+            seed=job.seed,
+            track=job.track,
+            obs=obs,
+        )
+    return SimResult(
+        perf=outcome.perf,
+        vulnerability=outcome.vulnerability,
+        memory=MemorySummary.from_memory(outcome.memory),
+        metrics=_sanitize_snapshot(outcome.metrics),
+    )
+
+
+def run_jobs(
+    jobs: Sequence[SimJob],
+    workers: Optional[int] = None,
+    obs: Optional[Observability] = None,
+    use_cache: Optional[bool] = None,
+    cache: Optional[ResultCache] = None,
+) -> list[SimResult]:
+    """Execute a batch of jobs, in parallel when asked, reusing the cache.
+
+    Results come back in job-list order and per-job metrics snapshots are
+    merged into ``obs`` (default: the process-wide bundle) in that same
+    order, so serial, parallel and cached executions produce identical
+    tables *and* identical merged metrics.
+    """
+    obs = obs if obs is not None else get_obs()
+    collect_metrics = obs.metrics.enabled
+    workers = resolve_workers(workers)
+    if obs.trace.enabled:
+        # Tracing needs the events to be emitted in this process, from a
+        # real execution: force serial and bypass the cache.
+        workers = 1
+        use_cache = False
+    if cache is None:
+        cache = ResultCache(enabled=cache_enabled(use_cache))
+    elif use_cache is not None:
+        cache = ResultCache(root=cache.root, enabled=use_cache)
+
+    results: list[Optional[SimResult]] = [None] * len(jobs)
+    keys = [job.key(obs=collect_metrics) for job in jobs]
+    pending = []
+    for index, key in enumerate(keys):
+        hit = cache.load(key)
+        if hit is not None:
+            results[index] = hit
+        else:
+            pending.append(index)
+
+    if pending:
+        parallel = workers > 1 and len(pending) > 1 and _fork_available()
+        if parallel:
+            import multiprocessing
+
+            ctx = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(pending)), mp_context=ctx
+            ) as pool:
+                futures = {
+                    index: pool.submit(
+                        _execute_job, jobs[index], collect_metrics
+                    )
+                    for index in pending
+                }
+                for index in pending:
+                    results[index] = futures[index].result()
+        else:
+            tracer = obs.trace if obs.trace.enabled else None
+            for index in pending:
+                results[index] = _execute_job(
+                    jobs[index], collect_metrics, tracer=tracer
+                )
+        for index in pending:
+            cache.store(keys[index], results[index])
+
+    if collect_metrics:
+        for result in results:
+            if result.metrics:
+                obs.metrics.merge(result.metrics)
+    return results  # type: ignore[return-value]

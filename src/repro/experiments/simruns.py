@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.core.config import COPConfig
 from repro.core.controller import ProtectedMemory, ProtectionMode
@@ -16,7 +16,7 @@ from repro.workloads.blocks import BlockSource
 from repro.workloads.profiles import PROFILES, PARSEC, BenchmarkProfile
 from repro.workloads.tracegen import TraceGenerator
 
-__all__ = ["SimOutcome", "run_benchmark", "epochs_for"]
+__all__ = ["SimOutcome", "run_benchmark", "run_mix", "epochs_for"]
 
 #: Address-space stride separating the rate-mode copies of a benchmark.
 _CORE_STRIDE = 1 << 40
@@ -87,6 +87,55 @@ def run_benchmark(
         memory, traces, sources, ipcs, system, tracker=tracker, obs=obs
     )
     with obs.profile.phase(f"benchmark.{profile.name}"):
+        perf = sim.run()
+    report = (
+        tracker.report()
+        if tracker is not None
+        else VulnerabilityReport(0.0, 0.0, 0, 0)
+    )
+    return SimOutcome(perf, report, memory, metrics=obs.snapshot())
+
+
+def run_mix(
+    benchmarks: Sequence[str],
+    mode: ProtectionMode,
+    scale: Scale = Scale.SMALL,
+    system: SystemConfig = SCALED_SYSTEM,
+    seed: int = 7,
+    track: bool = True,
+    obs: Optional[Observability] = None,
+) -> SimOutcome:
+    """Simulate a heterogeneous multiprogrammed mix, one benchmark per core.
+
+    Each program gets its own address space (rate-mode strides) and its
+    own content stream; they contend for the shared LLC and DRAM.  Used by
+    the ``mixes`` experiment and expressible as a :class:`SimJob` with a
+    tuple of benchmark names.
+    """
+    if obs is None:
+        obs = get_obs()
+    memory = ProtectedMemory(mode, obs=obs)
+    traces, sources, ipcs = [], [], []
+    for core, name in enumerate(benchmarks):
+        profile = PROFILES[name]
+        footprint = max(
+            2048,
+            profile.footprint_mb * (1 << 20) // 64 // system.footprint_divider,
+        )
+        generator = TraceGenerator(
+            profile,
+            seed=seed * 100 + core,
+            footprint_blocks=footprint,
+            base_addr=core * _CORE_STRIDE,
+        )
+        traces.append(generator.epochs(epochs_for(scale)))
+        sources.append(BlockSource(profile, seed=seed * 100 + core))
+        ipcs.append(profile.perfect_ipc)
+    tracker = VulnerabilityTracker() if track else None
+    sim = MultiCoreSystem(
+        memory, traces, sources, ipcs, system, tracker=tracker, obs=obs
+    )
+    with obs.profile.phase(f"mix.{'+'.join(benchmarks)}"):
         perf = sim.run()
     report = (
         tracker.report()

@@ -13,12 +13,12 @@ Two knobs the evaluation pins that a skeptical reader would wiggle:
 
 from __future__ import annotations
 
-from dataclasses import replace
+from typing import Optional
 
 from repro.core.config import COPConfig
 from repro.core.controller import ProtectionMode
 from repro.experiments.common import ExperimentTable, Scale
-from repro.experiments.simruns import run_benchmark
+from repro.experiments.runner import SimJob, run_jobs
 from repro.reliability.analysis import expected_failures
 
 __all__ = ["latency_sweep", "fit_sweep", "main"]
@@ -28,22 +28,40 @@ _FIT_RATES = (1000.0, 5000.0, 10000.0, 20000.0)
 _BENCH = "mcf"  # the most memory-bound benchmark: worst case for latency
 
 
-def latency_sweep(scale: Scale = Scale.SMALL) -> ExperimentTable:
+def latency_sweep(
+    scale: Scale = Scale.SMALL,
+    workers: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+) -> ExperimentTable:
     table = ExperimentTable(
         title=f"Decompress-latency sensitivity ({_BENCH}, IPC vs unprotected)",
         columns=("Normalized IPC",),
         percent=False,
     )
-    base = run_benchmark(
-        _BENCH, ProtectionMode.UNPROTECTED, scale, cores=4, track=False
-    ).perf.ipc
-    for cycles in _LATENCIES:
-        config = COPConfig.four_byte(decompress_latency=cycles)
-        ipc = run_benchmark(
-            _BENCH, ProtectionMode.COP, scale, cores=4,
-            cop_config=config, track=False,
-        ).perf.ipc
-        table.add(f"{cycles} cycles", (ipc / base,))
+    jobs = [
+        SimJob(
+            benchmark=_BENCH,
+            mode=ProtectionMode.UNPROTECTED,
+            scale=scale,
+            cores=4,
+            track=False,
+        )
+    ]
+    jobs.extend(
+        SimJob(
+            benchmark=_BENCH,
+            mode=ProtectionMode.COP,
+            scale=scale,
+            cores=4,
+            cop_config=COPConfig.four_byte(decompress_latency=cycles),
+            track=False,
+        )
+        for cycles in _LATENCIES
+    )
+    results = run_jobs(jobs, workers=workers, use_cache=use_cache)
+    base = results[0].perf.ipc
+    for cycles, result in zip(_LATENCIES, results[1:]):
+        table.add(f"{cycles} cycles", (result.perf.ipc / base,))
     four = table.row("4 cycles")[0]
     sixteen = table.row("16 cycles")[0]
     table.notes.append(
@@ -54,20 +72,25 @@ def latency_sweep(scale: Scale = Scale.SMALL) -> ExperimentTable:
     return table
 
 
-def fit_sweep(scale: Scale = Scale.SMALL) -> ExperimentTable:
+def fit_sweep(
+    scale: Scale = Scale.SMALL,
+    workers: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+) -> ExperimentTable:
     table = ExperimentTable(
         title=f"Raw-FIT-rate sweep ({_BENCH}, consumed failures per run, scaled)",
         columns=("Unprotected", "COP", "COP-ER"),
         percent=False,
     )
-    reports = {}
-    for label, mode in (
-        ("cop", ProtectionMode.COP),
-        ("coper", ProtectionMode.COP_ER),
-    ):
-        reports[label] = run_benchmark(
-            _BENCH, mode, scale, cores=1
-        ).vulnerability
+    jobs = [
+        SimJob(benchmark=_BENCH, mode=mode, scale=scale, cores=1)
+        for mode in (ProtectionMode.COP, ProtectionMode.COP_ER)
+    ]
+    results = run_jobs(jobs, workers=workers, use_cache=use_cache)
+    reports = {
+        "cop": results[0].vulnerability,
+        "coper": results[1].vulnerability,
+    }
     # Scale the simulated bit-time to a year of wall-clock exposure so the
     # absolute numbers are recognisable field rates.
     year_scale = 3.15e16 / max(reports["cop"].total_bit_ns, 1.0)

@@ -164,8 +164,13 @@ class MultiCoreSystem:
 
     # -- writeback path ------------------------------------------------------
 
-    def _writeback(self, core_index: int, victim, now_ns: float) -> None:
-        """Handle a dirty (or alias-pinned) eviction from the LLC."""
+    def _writeback(self, core_index: int, victim, now_ns: float):
+        """Write one dirty (or alias-pinned) LLC victim back to memory.
+
+        Returns the follow-up :class:`Eviction` produced when a rejected
+        (incompressible-alias) writeback re-pins its line — that insertion
+        can push *another* line out, which the caller must handle in turn.
+        """
         result = self.memory.write(victim.addr, victim.data)
         if self.obs.enabled:
             self.obs.profile.count("writebacks")
@@ -179,11 +184,12 @@ class MultiCoreSystem:
                 ecc_blocks=len(result.ecc_writes),
             )
         if not result.accepted:
-            # Incompressible alias: it must stay cached, pinned.
-            self.llc.insert(
+            # Incompressible alias: it must stay cached, pinned.  The
+            # re-pin may displace another line — hand its eviction back
+            # instead of silently dropping a dirty writeback.
+            return self.llc.insert(
                 victim.addr, victim.data, dirty=True, alias=True
             )
-            return
         if self.tracker is not None:
             self.tracker.on_write(victim.addr, now_ns, self._protected(result))
         self.dram.access(victim.addr, True, now_ns)
@@ -193,18 +199,31 @@ class MultiCoreSystem:
                 line.dirty = True
             else:
                 self.dram.access(ecc_addr, True, now_ns)
+        return None
 
     def _handle_eviction(self, core_index: int, eviction, now_ns: float) -> None:
-        if eviction is None:
-            return
-        victim = eviction.line
-        if self.memory.is_metadata_addr(victim.addr):
-            # Dirty ECC metadata block: plain DRAM write, no re-encode.
-            if victim.dirty:
-                self.dram.access(victim.addr, True, now_ns)
-            return
-        if victim.dirty or victim.alias:
-            self._writeback(core_index, victim, now_ns)
+        # Alias re-pins can chain: each rejected writeback re-pins into a
+        # set that may evict another dirty line.  Every link pins one more
+        # way (pinned lines are never victims; a fully pinned set spills
+        # to overflow instead), so the chain is bounded by associativity —
+        # the guard turns any violation of that invariant into a loud
+        # failure rather than unbounded recursion.
+        steps = 0
+        while eviction is not None:
+            steps += 1
+            if steps > self.llc.ways + 1:
+                raise RuntimeError(
+                    "eviction chain exceeded LLC associativity "
+                    f"({self.llc.ways} ways)"
+                )
+            victim = eviction.line
+            eviction = None
+            if self.memory.is_metadata_addr(victim.addr):
+                # Dirty ECC metadata block: plain DRAM write, no re-encode.
+                if victim.dirty:
+                    self.dram.access(victim.addr, True, now_ns)
+            elif victim.dirty or victim.alias:
+                eviction = self._writeback(core_index, victim, now_ns)
 
     # -- miss path ---------------------------------------------------------------
 

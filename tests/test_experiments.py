@@ -62,7 +62,14 @@ class TestCommon:
     def test_geomean(self):
         assert geomean([1.0, 4.0]) == pytest.approx(2.0)
         assert geomean([]) == 0.0
-        assert geomean([0.0, 2.0]) == pytest.approx(2.0)  # zeros dropped
+
+    def test_geomean_rejects_nonpositive(self):
+        """A zero normalized IPC means a failed run; dropping it would
+        silently inflate the reported average."""
+        with pytest.raises(ValueError, match="non-positive"):
+            geomean([0.0, 2.0])
+        with pytest.raises(ValueError, match="non-positive"):
+            geomean([1.0, -0.5])
 
     def test_sample_blocks(self):
         blocks = sample_blocks("gcc", 10)
@@ -165,6 +172,12 @@ class TestHarnesses:
         with pytest.raises(ValueError):
             table.to_ascii_chart(column="nope")
 
+    def test_ascii_chart_empty_table(self):
+        """An empty table renders as its title instead of raising."""
+        table = ExperimentTable("Empty", ("v",))
+        assert table.to_ascii_chart() == "Empty — v"
+        assert ExperimentTable("Bare", ()).to_ascii_chart() == "Bare"
+
 
 class TestCli:
     def test_lists_all_experiments(self):
@@ -182,3 +195,47 @@ class TestCli:
     def test_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):
             cli.main(["fig99"])
+
+    def test_explicit_scale_beats_bad_env(self, capsys, monkeypatch):
+        """--scale must win over a broken REPRO_SCALE instead of the
+        parser blowing up while building its defaults."""
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        assert cli.main(["fig4", "--scale", "smoke"]) == 0
+        assert "[saved" in capsys.readouterr().out
+
+    def test_bad_env_scale_fails_loudly_without_flag(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["fig4"])
+        assert excinfo.value.code == 2
+        assert "REPRO_SCALE" in capsys.readouterr().err
+
+    def test_obs_subcommand_ignores_bad_env_scale(self, capsys, monkeypatch):
+        """Subcommands that run no simulation must not choke on the env."""
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        assert cli.main(["obs"]) == 2  # "nothing to show", not a crash
+        assert "nothing to show" in capsys.readouterr().out
+
+    def test_parallel_run_matches_serial(self, capsys):
+        """Acceptance: --jobs N output is byte-identical to serial."""
+        assert cli.main(["fig12", "--scale", "smoke", "--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        assert (
+            cli.main(["fig12", "--scale", "smoke", "--no-cache", "--jobs", "2"])
+            == 0
+        )
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_trace_with_jobs_runs_serially(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert (
+            cli.main(
+                ["fig12", "--scale", "smoke", "--jobs", "4",
+                 "--trace", str(trace), "--no-cache"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "running serially" in out
+        assert trace.exists() and trace.stat().st_size > 0

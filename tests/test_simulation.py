@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.cache.cache import CacheLine, Eviction
 from repro.core.controller import ProtectedMemory, ProtectionMode
 from repro.reliability.parma import VulnerabilityTracker
 from repro.simulation.config import SCALED_SYSTEM, TABLE1_SYSTEM, SystemConfig
@@ -154,6 +155,93 @@ class TestDataIntegrity:
                 assert result.data == system._sources[core].block(addr, version)
                 checked += 1
         assert checked > 0
+
+
+class TestEvictionChains:
+    """Alias re-pins must not drop the dirty lines they displace."""
+
+    @staticmethod
+    def _craft_alias_block(codec4, rng):
+        """A raw 64-byte block the decoder mistakes for compressed data.
+
+        Natural aliases occur with probability ~2.4e-7, far too rare to
+        hit in a test run — so build one: every stored word is a valid
+        code word (hash masks applied by ``_pack_words``).
+        """
+        words = [
+            codec4.code.encode(rng.getrandbits(codec4.config.codeword_data_bits))
+            for _ in codec4.masks
+        ]
+        block = codec4._pack_words(words)
+        assert codec4.is_alias(block)
+        return block
+
+    def _one_set_system(self):
+        """A 2-way, single-set LLC so evictions are easy to force."""
+        config = SystemConfig(llc_bytes=128, llc_ways=2)
+        profile = PROFILES["gcc"]
+        memory = ProtectedMemory(ProtectionMode.COP)
+        return MultiCoreSystem(
+            memory,
+            [iter(())],
+            [BlockSource(profile, seed=3)],
+            [profile.perfect_ipc],
+            config,
+        )
+
+    def test_alias_repin_eviction_writes_back_dirty_victim(self, codec4, rng):
+        """Regression: the Eviction returned by an alias re-pin was dropped,
+        losing the displaced dirty line's data forever."""
+        sim = self._one_set_system()
+        old_data = bytes(64)
+        new_data = b"\x07" + bytes(63)
+        dirty_addr, clean_addr, alias_addr = 0x0, 0x40, 0x80
+
+        # DRAM holds the stale version; the only up-to-date copy of
+        # dirty_addr lives in the (full) LLC.
+        assert sim.memory.write(dirty_addr, old_data).accepted
+        assert sim.llc.insert(dirty_addr, new_data, dirty=True) is None
+        assert sim.llc.insert(clean_addr, bytes(64)) is None
+
+        # Evict an incompressible alias: its writeback is rejected, the
+        # re-pin displaces the LRU line — the dirty one.
+        alias_block = self._craft_alias_block(codec4, rng)
+        victim = CacheLine(addr=alias_addr, data=alias_block, dirty=True)
+        sim._handle_eviction(0, Eviction(victim), 0.0)
+
+        pinned = sim.llc.peek(alias_addr)
+        assert pinned is not None and pinned.alias
+        # The displaced dirty line must have reached memory.
+        assert sim.memory.read(dirty_addr).data == new_data
+
+    def test_alias_repin_into_nonfull_set_is_quiet(self, codec4, rng):
+        """With a free way the re-pin displaces nothing and memory keeps
+        whatever it had."""
+        sim = self._one_set_system()
+        alias_block = self._craft_alias_block(codec4, rng)
+        victim = CacheLine(addr=0x80, data=alias_block, dirty=True)
+        sim._handle_eviction(0, Eviction(victim), 0.0)
+        assert sim.llc.peek(0x80).alias
+        assert sim.memory.stats.reads == 0
+
+    def test_chain_guard_trips_on_impossible_loops(self, codec4, rng):
+        """The associativity bound turns a broken invariant into a loud
+        failure instead of an endless eviction loop."""
+        sim = self._one_set_system()
+        alias_block = self._craft_alias_block(codec4, rng)
+
+        class _EndlessCache:
+            ways = 2
+
+            def insert(self, addr, data, dirty=False, alias=False):
+                return Eviction(
+                    CacheLine(addr=addr + 0x40, data=alias_block, dirty=True)
+                )
+
+        sim.llc = _EndlessCache()
+        victim = CacheLine(addr=0x0, data=alias_block, dirty=True)
+        with pytest.raises(RuntimeError, match="eviction chain"):
+            sim._handle_eviction(0, Eviction(victim), 0.0)
 
 
 class TestVulnerabilityIntegration:
