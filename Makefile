@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench results report examples obs-smoke par-smoke clean
+.PHONY: install test bench results report examples lint obs-smoke par-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -22,6 +22,22 @@ report:
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+# Static analysis gate: the repo-specific AST linter (five invariant
+# rules, see docs/static-analysis.md) always runs; mypy and ruff run
+# when installed (CI installs them; the dev container may not).
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis src/repro --check
+	@if $(PYTHON) -c "import mypy" >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy --config-file pyproject.toml; \
+	else \
+		echo "mypy not installed -- skipping type check"; \
+	fi
+	@if $(PYTHON) -c "import ruff" >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src; \
+	else \
+		echo "ruff not installed -- skipping style check"; \
+	fi
 
 # One SMOKE-scale experiment with tracing on, then verify the artifacts:
 # the trace JSONL must parse and the embedded metrics snapshot must be

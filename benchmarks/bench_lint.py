@@ -1,0 +1,46 @@
+"""Benchmark guard: the invariant linter must stay pre-commit cheap.
+
+``python -m repro.analysis src/repro --check`` is wired into ``make
+lint`` and CI, and is meant to be cheap enough to run on every commit;
+this guard keeps a full-repo run under 5 seconds (it is ~100x faster
+than that today — the bound is a regression tripwire, not a target).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.analysis import iter_python_files, lint_paths
+
+_SRC = Path(__file__).parent.parent / "src" / "repro"
+_BUDGET_SECONDS = 5.0
+
+
+def test_lint_walltime_under_budget():
+    files = iter_python_files([_SRC])
+    assert len(files) > 50, "expected the full package under src/repro"
+
+    start = time.perf_counter()
+    findings = lint_paths([_SRC])
+    elapsed = time.perf_counter() - start
+
+    print(
+        f"\nlinted {len(files)} files in {elapsed:.3f}s "
+        f"({len(files) / elapsed:.0f} files/s), {len(findings)} finding(s)"
+    )
+    assert findings == [], "\n".join(f.format() for f in findings)
+    assert elapsed < _BUDGET_SECONDS, (
+        f"linting src/repro took {elapsed:.2f}s, budget is "
+        f"{_BUDGET_SECONDS:.0f}s — the gate is no longer pre-commit cheap"
+    )
+
+
+def test_lint_single_file_is_interactive_fast():
+    """Editor-integration latency: one hot file well under 100 ms."""
+    target = _SRC / "experiments" / "runner.py"
+    start = time.perf_counter()
+    lint_paths([target])
+    elapsed = time.perf_counter() - start
+    print(f"\nlinted {target.name} in {elapsed * 1e3:.1f} ms")
+    assert elapsed < 1.0

@@ -1,0 +1,55 @@
+"""Repo-specific static analysis for the COP reproduction.
+
+``python -m repro.analysis [paths] --check`` runs five AST-based rules
+that machine-check the invariants the simulator's correctness rests on:
+
+``REP001 determinism``
+    No ambient entropy (global ``random.*``, wall clocks, ``os.urandom``)
+    inside the packages whose outputs feed the content-addressed result
+    cache and the parallel==serial bit-equality contract.
+``REP002 merge-completeness``
+    Stats dataclasses that define ``merge()``/``as_dict()`` must account
+    for every field — the dropped-counter bug class from PRs 1-2.
+``REP003 bit-width``
+    Codeword arithmetic in ``ecc/``/``compression/`` must mask left
+    shifts to a declared width, and public functions taking 64-byte
+    blocks must validate their length.
+``REP004 obs-guard``
+    ``tracer.emit(...)`` calls must sit behind an ``enabled`` guard so
+    disabled observability stays (near) free on hot paths.
+``REP005 picklability``
+    Types that cross the fork-pool boundary (``SimJob``/``SimResult``
+    and their field closure) must avoid lambdas, file handles and
+    locals-defined classes.
+
+Per-line suppression: ``# repro: noqa[rule-id]`` (or a bare
+``# repro: noqa`` for all rules).  See ``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.base import RULES, Finding, Rule, register
+from repro.analysis.engine import (
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+
+# Importing the rule modules populates the registry.
+from repro.analysis import rules_determinism  # noqa: F401  (registration)
+from repro.analysis import rules_merge  # noqa: F401
+from repro.analysis import rules_bitwidth  # noqa: F401
+from repro.analysis import rules_obsguard  # noqa: F401
+from repro.analysis import rules_pickle  # noqa: F401
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "RULES",
+    "register",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,95 @@
+"""Command-line front end: ``python -m repro.analysis [paths] [options]``.
+
+Exit codes: 0 clean (or report-only mode), 1 findings under ``--check``,
+2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.base import RULES, Rule
+from repro.analysis.engine import lint_paths, render_json
+
+__all__ = ["main"]
+
+
+def _select_rules(spec: Optional[str]) -> Optional[list[Rule]]:
+    if spec is None:
+        return None
+    wanted = {item.strip().lower() for item in spec.split(",") if item.strip()}
+    selected = [
+        rule
+        for rule in RULES.values()
+        if rule.id.lower() in wanted or rule.name.lower() in wanted
+    ]
+    matched = {rule.id.lower() for rule in selected} | {
+        rule.name.lower() for rule in selected
+    }
+    unknown = wanted - matched
+    if unknown:
+        print(f"unknown rule(s): {', '.join(sorted(unknown))}", file=sys.stderr)
+        raise SystemExit(2)
+    return selected
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant linter for the COP reproduction",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when any finding survives suppression",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit findings as a JSON array"
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids/names to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in sorted(RULES.values(), key=lambda r: r.id):
+            print(f"{rule.id}  {rule.name:<20} {rule.description}")
+        return 0
+
+    rules = _select_rules(args.select)
+    try:
+        findings = lint_paths(args.paths, rules=rules)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(render_json(findings))
+    else:
+        for finding in findings:
+            print(finding.format())
+        if findings:
+            print(f"{len(findings)} finding(s)")
+        elif not args.check:
+            print("clean")
+
+    if args.check and findings:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,157 @@
+"""File walking, suppression handling and rule execution.
+
+Suppressions are per-line comments::
+
+    value = data << 3        # repro: noqa[bit-width]
+    value = data << 3        # repro: noqa[REP003]
+    value = data << 3        # repro: noqa
+
+Rule ids and rule names both work, comma-separated for several rules at
+once.  A bare ``noqa`` silences every rule on that line.
+
+Fixture files (and anything outside the installed package) can opt into
+package-scoped rules with a directive in their first five lines::
+
+    # lint-as: repro/simulation/example.py
+
+which makes the engine treat them as living at that path inside the
+``repro`` package.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from pathlib import Path, PurePosixPath
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.base import RULES, Finding, LintContext, Rule
+
+__all__ = ["iter_python_files", "lint_file", "lint_paths", "lint_source", "render_json"]
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([^\]]*)\])?", re.IGNORECASE)
+_LINT_AS_RE = re.compile(r"^#\s*lint-as:\s*(\S+)\s*$")
+
+#: Matches every rule on a line with a bare ``# repro: noqa``.
+_ALL = "*"
+
+
+def _suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> set of suppressed rule ids/names (or ``_ALL``)."""
+    table: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if not match:
+            continue
+        spec = match.group(1)
+        if spec is None:
+            table[lineno] = {_ALL}
+        else:
+            table[lineno] = {
+                item.strip().lower() for item in spec.split(",") if item.strip()
+            }
+    return table
+
+
+def _suppressed(finding: Finding, table: dict[int, set[str]]) -> bool:
+    entries = table.get(finding.line)
+    if not entries:
+        return False
+    if _ALL in entries:
+        return True
+    return finding.rule_id.lower() in entries or finding.rule_name.lower() in entries
+
+
+def _subpath_for(path: Path) -> str:
+    """Path relative to the last ``repro`` package component, if any."""
+    parts = path.as_posix().split("/")
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index + 1 :])
+    return ""
+
+
+def _lint_as_directive(source: str) -> Optional[str]:
+    for line in source.splitlines()[:5]:
+        match = _LINT_AS_RE.match(line.strip())
+        if match:
+            virtual = PurePosixPath(match.group(1))
+            parts = virtual.parts
+            if "repro" in parts:
+                index = len(parts) - 1 - tuple(reversed(parts)).index("repro")
+                return "/".join(parts[index + 1 :])
+            return virtual.as_posix()
+    return None
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.update(p for p in path.rglob("*.py"))
+        elif path.suffix == ".py":
+            out.add(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    return sorted(out)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    subpath: Optional[str] = None,
+    rules: Optional[Iterable[Rule]] = None,
+) -> list[Finding]:
+    """Run the rules over one source string; returns surviving findings."""
+    if subpath is None:
+        subpath = _lint_as_directive(source)
+    if subpath is None:
+        subpath = _subpath_for(Path(path))
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                rule_id="REP000",
+                rule_name="parse-error",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = LintContext(path=path, subpath=subpath, source=source, tree=tree)
+    table = _suppressions(source)
+    active = list(rules) if rules is not None else list(RULES.values())
+    findings: list[Finding] = []
+    for rule in active:
+        for finding in rule.check(ctx):
+            if not _suppressed(finding, table):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings
+
+
+def lint_file(
+    path: str | Path, rules: Optional[Iterable[Rule]] = None
+) -> list[Finding]:
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, path=str(path), rules=rules)
+
+
+def lint_paths(
+    paths: Sequence[str | Path], rules: Optional[Iterable[Rule]] = None
+) -> list[Finding]:
+    """Lint every python file under the given paths."""
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, rules=rules))
+    return findings
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    return json.dumps([f.as_dict() for f in findings], indent=2)

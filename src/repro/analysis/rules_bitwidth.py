@@ -1,0 +1,162 @@
+"""REP003 — codeword arithmetic must stay inside its declared width.
+
+Python ints are unbounded, hardware registers are not.  A left shift on
+a codeword/block integer in ``ecc/`` or ``compression/`` that is not
+masked back to a declared width models a register that silently grew —
+the resulting value round-trips through the simulator looking valid
+while no real memory controller could hold it.  Two checks:
+
+**Unmasked left shifts.**  ``value << n`` must sit under an explicit
+mask (``& ((1 << w) - 1)``) within the same expression.  Recognised-safe
+shift idioms that need no mask:
+
+* shifts of constants (``1 << i`` bit selects, ``0b11 << k`` field
+  placement) and of mask expressions (``((1 << w) - 1) << start``) —
+  bounded by construction;
+* shifts of pre-masked operands (``(x & 0xFF) << 8``);
+* shifts inside comparisons (bounds checks like ``if x >= 1 << w``);
+* shifts whose result feeds ``int.to_bytes``/``int_to_bytes`` — both
+  raise ``OverflowError`` on out-of-width values, which *is* the check.
+
+**Unvalidated 64-byte blocks.**  A public function in these packages
+taking a parameter named ``block`` must validate its length: call
+``check_block``, inspect ``len(block)``, or delegate ``block`` verbatim
+to another callable that does.  Abstract stubs (docstring + ``raise`` /
+``...``) are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import Finding, LintContext, Rule, dotted_name, register
+
+_SCOPED_PACKAGES = ("ecc", "compression")
+_VALIDATING_SINKS = {"to_bytes", "int_to_bytes", "check_block"}
+
+
+def _is_mask_expr(node: ast.expr) -> bool:
+    """``(1 << n) - 1`` (possibly nested in parens): mask construction."""
+    return (
+        isinstance(node, ast.BinOp)
+        and isinstance(node.op, ast.Sub)
+        and isinstance(node.right, ast.Constant)
+        and node.right.value == 1
+        and isinstance(node.left, ast.BinOp)
+        and isinstance(node.left.op, ast.LShift)
+    )
+
+
+def _operand_is_bounded(node: ast.BinOp) -> bool:
+    left = node.left
+    if isinstance(left, ast.Constant):
+        return True  # constant field placement (1 << i, 0b11 << k)
+    if isinstance(left, ast.BinOp) and isinstance(left.op, ast.BitAnd):
+        return True  # pre-masked operand: (x & 0xFF) << 8
+    if _is_mask_expr(left):
+        return True  # shifted mask: ((1 << w) - 1) << start
+    return False
+
+
+def _shift_is_allowed(ctx: LintContext, node: ast.BinOp) -> bool:
+    if _operand_is_bounded(node):
+        return True
+    for ancestor in ctx.expr_ancestors(node):
+        if isinstance(ancestor, ast.BinOp) and isinstance(ancestor.op, ast.BitAnd):
+            return True  # masked within the expression
+        if isinstance(ancestor, ast.Compare):
+            return True  # bounds check, not value construction
+        if isinstance(ancestor, ast.Call):
+            name = dotted_name(ancestor.func)
+            if name is not None and name.rsplit(".", 1)[-1] in _VALIDATING_SINKS:
+                return True  # sink raises OverflowError out of width
+    return False
+
+
+def _body_after_docstring(func: ast.FunctionDef) -> list[ast.stmt]:
+    body = list(func.body)
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        body = body[1:]
+    return body
+
+
+def _is_stub(func: ast.FunctionDef) -> bool:
+    body = _body_after_docstring(func)
+    if not body:
+        return True
+    if len(body) == 1:
+        stmt = body[0]
+        if isinstance(stmt, (ast.Raise, ast.Pass)):
+            return True
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            return True  # bare `...`
+    return False
+
+
+def _validates_block(func: ast.FunctionDef) -> bool:
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        leaf = name.rsplit(".", 1)[-1] if name else None
+        args = list(node.args) + [kw.value for kw in node.keywords]
+        passes_block = any(
+            isinstance(arg, ast.Name) and arg.id == "block" for arg in args
+        )
+        if leaf == "check_block" and passes_block:
+            return True
+        if leaf == "len" and passes_block:
+            return True
+        if passes_block and leaf not in ("len",):
+            # Verbatim delegation: the callee owns validation.
+            return True
+    return False
+
+
+@register
+class BitWidthRule(Rule):
+    id = "REP003"
+    name = "bit-width"
+    description = (
+        "left shifts in ecc/compression must be masked to a declared "
+        "width; public functions taking 64-byte blocks must validate length"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.in_packages(*_SCOPED_PACKAGES):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.LShift):
+                if not _shift_is_allowed(ctx, node):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "unmasked left shift on codeword arithmetic; mask the "
+                        "expression to its declared width "
+                        "(e.g. `(x << n) & ((1 << w) - 1)`)",
+                    )
+            elif isinstance(node, ast.FunctionDef):
+                if node.name.startswith("_") or _is_stub(node):
+                    continue
+                params = [
+                    a.arg
+                    for a in (
+                        node.args.posonlyargs + node.args.args + node.args.kwonlyargs
+                    )
+                ]
+                if "block" not in params:
+                    continue
+                if not _validates_block(node):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{node.name}() takes a 64-byte block but never "
+                        "validates its length; call check_block(block) "
+                        "or compare len(block)",
+                    )

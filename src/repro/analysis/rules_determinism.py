@@ -1,0 +1,179 @@
+"""REP001 — no ambient entropy in the simulation-determining packages.
+
+The result cache keys a simulation by its *spec* (benchmark, mode, seed,
+configs) plus a source-code salt; the parallel runner's bit-equality
+contract assumes a job's outcome is a pure function of that spec.  A
+single ``random.random()`` (global RNG), ``time.time()`` or
+``os.urandom()`` inside ``simulation/``, ``reliability/``,
+``workloads/``, ``compression/`` or ``ecc/`` silently breaks both: the
+cache would serve stale results for runs that are not actually
+reproducible, and parallel runs would diverge from serial ones.
+
+Allowed: explicitly seeded generators — ``random.Random(seed)``,
+``numpy.random.default_rng(seed)``, ``numpy.random.RandomState(seed)``.
+Constructing any of those *without* a seed argument is flagged too.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.base import Finding, LintContext, Rule, dotted_name, register
+
+_GUARDED_PACKAGES = (
+    "simulation",
+    "reliability",
+    "workloads",
+    "compression",
+    "ecc",
+)
+
+_WALL_CLOCK = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+}
+_DATETIME_FACTORIES = {"now", "utcnow", "today"}
+#: Seeded-generator constructors: fine with a seed, flagged bare.
+_SEEDED_CTORS = {"Random", "default_rng", "RandomState"}
+#: numpy.random names that are types/seeding machinery, not the global RNG.
+_NUMPY_OK = {"Generator", "SeedSequence", "PCG64", "Philox", "MT19937", "BitGenerator"}
+
+_MODULES_OF_INTEREST = {
+    "random",
+    "numpy",
+    "np",
+    "time",
+    "datetime",
+    "os",
+    "uuid",
+    "secrets",
+}
+
+
+def _import_aliases(tree: ast.Module) -> tuple[dict[str, str], dict[str, str]]:
+    """(module alias -> canonical module, bare name -> "module.attr")."""
+    modules: dict[str, str] = {}
+    names: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in _MODULES_OF_INTEREST or root == "numpy":
+                    modules[alias.asname or root] = (
+                        "numpy" if root == "numpy" else root
+                    )
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            root = node.module.split(".")[0]
+            if root not in _MODULES_OF_INTEREST:
+                continue
+            canonical_root = "numpy" if root == "numpy" else root
+            suffix = node.module.split(".", 1)[1] if "." in node.module else ""
+            for alias in node.names:
+                target = f"{suffix}.{alias.name}" if suffix else alias.name
+                names[alias.asname or alias.name] = f"{canonical_root}.{target}"
+    return modules, names
+
+
+def _has_seed(call: ast.Call) -> bool:
+    return bool(call.args or call.keywords)
+
+
+@register
+class DeterminismRule(Rule):
+    id = "REP001"
+    name = "determinism"
+    description = (
+        "no global-RNG, wall-clock or os-entropy calls inside the "
+        "packages that determine cached simulation outcomes"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.in_packages(*_GUARDED_PACKAGES):
+            return
+        modules, names = _import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = self._canonical(node.func, modules, names)
+            if canonical is None:
+                continue
+            message = self._verdict(canonical, node)
+            if message is not None:
+                yield self.finding(ctx, node, message)
+
+    @staticmethod
+    def _canonical(
+        func: ast.expr, modules: dict[str, str], names: dict[str, str]
+    ) -> Optional[str]:
+        """Resolve a call target to ``module.attr...`` through the imports."""
+        dotted = dotted_name(func)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head in modules:
+            return f"{modules[head]}.{rest}" if rest else modules[head]
+        if head in names:
+            resolved = names[head]
+            return f"{resolved}.{rest}" if rest else resolved
+        return None
+
+    @staticmethod
+    def _verdict(canonical: str, call: ast.Call) -> Optional[str]:
+        module, _, attr_path = canonical.partition(".")
+        if not attr_path:
+            return None
+        leaf = attr_path.rsplit(".", 1)[-1]
+        if module == "random":
+            if leaf == "SystemRandom":
+                return "random.SystemRandom is OS-entropy backed; use a seeded random.Random"
+            if leaf in _SEEDED_CTORS:
+                if not _has_seed(call):
+                    return (
+                        f"unseeded random.{leaf}() — pass an explicit seed so "
+                        "runs are reproducible"
+                    )
+                return None
+            return (
+                f"call to the global RNG (random.{attr_path}) poisons the "
+                "result cache; use a seeded random.Random instance"
+            )
+        if module == "numpy":
+            if not attr_path.startswith("random."):
+                return None
+            if leaf in _NUMPY_OK:
+                return None
+            if leaf in _SEEDED_CTORS:
+                if not _has_seed(call):
+                    return (
+                        f"unseeded numpy.random.{leaf}() — pass an explicit "
+                        "seed so runs are reproducible"
+                    )
+                return None
+            return (
+                f"call to numpy's global RNG (numpy.{attr_path}); use "
+                "numpy.random.default_rng(seed)"
+            )
+        if module == "time" and leaf in _WALL_CLOCK:
+            return (
+                f"wall-clock call time.{leaf}() makes the simulation "
+                "outcome depend on the host; derive times from simulated state"
+            )
+        if module == "datetime" and leaf in _DATETIME_FACTORIES:
+            return (
+                f"datetime.{attr_path}() reads the host clock; pass "
+                "timestamps in explicitly"
+            )
+        if module == "os" and leaf == "urandom":
+            return "os.urandom() is irreproducible; use a seeded random.Random"
+        if module == "uuid" and leaf in ("uuid1", "uuid4"):
+            return f"uuid.{leaf}() is irreproducible; derive ids from the job spec"
+        if module == "secrets":
+            return f"secrets.{leaf}() is irreproducible by design; use a seeded RNG"
+        return None

@@ -1,0 +1,151 @@
+"""REP002 — stats dataclasses must merge/serialise every field.
+
+PR 1 and PR 2 each shipped (and then hand-fixed) a bug of the same
+shape: a counter added to a stats dataclass that one of ``merge()`` /
+``as_dict()`` silently dropped, so per-core totals or published metrics
+under-reported.  This rule makes the field list and the fold logic
+impossible to desynchronise:
+
+* ``merge()`` must reference **every** field (or iterate
+  ``dataclasses.fields``/``asdict``/``vars``, which is exhaustive by
+  construction);
+* ``as_dict()`` must reference every *scalar* field — container-typed
+  fields (``dict``/``list``/``set``/``tuple`` annotations, e.g.
+  per-bank breakdowns) may legitimately be excluded from the flat
+  counter view, but scalars may not.
+
+A field counts as referenced when the method mentions it as an
+attribute (``self.reads``/``other.reads``) or as a string key.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.base import Finding, LintContext, Rule, dotted_name, register
+
+#: Calls that cover every field by construction.  ``as_dict`` qualifies
+#: because this rule checks it for completeness too, so a ``merge()``
+#: that folds ``other.as_dict()`` inherits a verified field list.
+_EXHAUSTIVE_CALLS = {"fields", "asdict", "astuple", "vars", "as_dict"}
+_CONTAINER_NAMES = {
+    "dict",
+    "Dict",
+    "defaultdict",
+    "list",
+    "List",
+    "set",
+    "Set",
+    "frozenset",
+    "tuple",
+    "Tuple",
+    "Mapping",
+    "MutableMapping",
+    "Sequence",
+}
+_CHECKED_METHODS = ("merge", "as_dict")
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = dotted_name(target)
+        if name is not None and name.rsplit(".", 1)[-1] == "dataclass":
+            return True
+    return False
+
+
+def _annotation_head(annotation: ast.expr) -> Optional[str]:
+    """Outermost type name of an annotation (``dict[str, int]`` -> dict)."""
+    if isinstance(annotation, ast.Subscript):
+        annotation = annotation.value
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        # String annotation: best-effort parse of its head.
+        head = annotation.value.split("[", 1)[0].strip()
+        return head.rsplit(".", 1)[-1] or None
+    name = dotted_name(annotation)
+    if name is not None:
+        return name.rsplit(".", 1)[-1]
+    return None
+
+
+def _dataclass_fields(node: ast.ClassDef) -> dict[str, bool]:
+    """Field name -> is-container, for the class's own annotated fields."""
+    out: dict[str, bool] = {}
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign) or not isinstance(
+            stmt.target, ast.Name
+        ):
+            continue
+        name = stmt.target.id
+        if name.startswith("_"):
+            continue
+        head = _annotation_head(stmt.annotation)
+        if head == "ClassVar":
+            continue
+        out[name] = head in _CONTAINER_NAMES
+    return out
+
+
+def _is_exhaustive(method: ast.FunctionDef) -> bool:
+    """Does the method iterate the dataclass machinery (covers all fields)?"""
+    for node in ast.walk(method):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is not None and name.rsplit(".", 1)[-1] in _EXHAUSTIVE_CALLS:
+                return True
+        if isinstance(node, ast.Attribute) and node.attr == "__dict__":
+            return True
+    return False
+
+
+def _referenced_names(method: ast.FunctionDef) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(method):
+        if isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            names.add(node.value)
+    return names
+
+
+@register
+class MergeCompletenessRule(Rule):
+    id = "REP002"
+    name = "merge-completeness"
+    description = (
+        "merge()/as_dict() on stats dataclasses must account for every "
+        "(scalar) field"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef) or not _is_dataclass(node):
+                continue
+            fields = _dataclass_fields(node)
+            if not fields:
+                continue
+            for stmt in node.body:
+                if (
+                    not isinstance(stmt, ast.FunctionDef)
+                    or stmt.name not in _CHECKED_METHODS
+                ):
+                    continue
+                if _is_exhaustive(stmt):
+                    continue
+                referenced = _referenced_names(stmt)
+                required = (
+                    fields
+                    if stmt.name == "merge"
+                    else {f: c for f, c in fields.items() if not c}
+                )
+                missing = sorted(f for f in required if f not in referenced)
+                if missing:
+                    yield self.finding(
+                        ctx,
+                        stmt,
+                        f"{node.name}.{stmt.name}() drops field(s) "
+                        f"{', '.join(missing)}; reference them or iterate "
+                        "dataclasses.fields(self)",
+                    )

@@ -1,0 +1,105 @@
+"""REP004 — trace emission must hide behind an ``enabled`` guard.
+
+The observability design keeps disabled instrumentation effectively
+free: hot paths pay one attribute load and one branch.  That only holds
+if the *payload construction* — the keyword arguments to
+``tracer.emit(...)`` — is never evaluated when tracing is off.  An
+unguarded ``self.obs.trace.emit("read", addr=addr, ...)`` builds the
+whole payload dict on every access even with the ``NullTracer``
+installed, which is exactly the regression the <5% no-op overhead bench
+(``benchmarks/bench_obs_overhead.py``) exists to catch.
+
+Recognised guards for an ``emit`` call:
+
+* a lexically enclosing ``if``/conditional whose test mentions
+  ``enabled`` (``if self.obs.enabled: ... emit(...)``);
+* an early-exit guard earlier in the same function — an ``if`` whose
+  test mentions ``enabled`` and whose body returns/continues/raises.
+
+The rule skips ``repro/obs`` (the tracer's own implementation) and
+``repro/analysis``.  Span calls are exempt: spans bracket coarse phases
+and are few by design.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import Finding, LintContext, Rule, register
+
+_TRACER_NAMES = {"trace", "tracer", "_tracer"}
+_EXEMPT_PACKAGES = ("obs", "analysis")
+
+
+def _mentions_enabled(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr == "enabled":
+            return True
+        if isinstance(sub, ast.Name) and sub.id == "enabled":
+            return True
+    return False
+
+
+def _is_tracer_emit(node: ast.Call) -> bool:
+    func = node.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "emit"):
+        return False
+    owner = func.value
+    if isinstance(owner, ast.Attribute):
+        return owner.attr in _TRACER_NAMES
+    if isinstance(owner, ast.Name):
+        return owner.id in _TRACER_NAMES
+    return False
+
+
+def _early_exit_guard(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, before_line: int
+) -> bool:
+    """Is there an `if ...enabled...: return/continue/raise` before the call?"""
+    for stmt in ast.walk(func):
+        if not isinstance(stmt, ast.If) or stmt.lineno >= before_line:
+            continue
+        if not _mentions_enabled(stmt.test):
+            continue
+        if any(
+            isinstance(s, (ast.Return, ast.Continue, ast.Raise)) for s in stmt.body
+        ):
+            return True
+    return False
+
+
+@register
+class ObsGuardRule(Rule):
+    id = "REP004"
+    name = "obs-guard"
+    description = (
+        "tracer.emit(...) must be guarded by an `enabled` check so "
+        "disabled tracing never builds event payloads"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.in_packages(*_EXEMPT_PACKAGES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and _is_tracer_emit(node)):
+                continue
+            if self._guarded(ctx, node):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                "tracer.emit() outside an `enabled` guard builds its "
+                "payload even when tracing is off; wrap it in "
+                "`if obs.enabled:` (see docs/observability.md)",
+            )
+
+    @staticmethod
+    def _guarded(ctx: LintContext, node: ast.Call) -> bool:
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, (ast.If, ast.IfExp, ast.While)):
+                if _mentions_enabled(ancestor.test):
+                    return True
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return _early_exit_guard(ancestor, node.lineno)
+        return False

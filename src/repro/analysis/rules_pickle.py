@@ -1,0 +1,138 @@
+"""REP005 — job/result types must survive the fork-pool boundary.
+
+The parallel runner ships :class:`~repro.experiments.runner.SimJob` into
+worker processes and :class:`~repro.experiments.runner.SimResult` back
+out (and through the on-disk result cache) via ``pickle``.  Three things
+break that silently-until-runtime:
+
+* **lambdas** (including ``field(default_factory=lambda: ...)``) — not
+  picklable;
+* **file handles** — fields annotated ``IO``/``TextIO``/``BinaryIO``,
+  or ``open(...)`` captured in the class body;
+* **locals-defined classes** — a class created inside a function pickles
+  by qualified name lookup, which fails in the worker.
+
+The checked set is the pickled closure: ``SimJob``/``SimResult`` and
+the types their fields reach (maintained in ``_ROOT_CLASSES``; within a
+file the rule also closes over field annotations automatically, so a
+new dataclass referenced by a checked one is checked too).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import Finding, LintContext, Rule, register
+
+#: The hand-maintained cross-file closure of pickled types.  ``SimJob``
+#: and ``SimResult`` are the roots; the rest are the types their fields
+#: carry across the process boundary today.
+_ROOT_CLASSES = {
+    "SimJob",
+    "SimResult",
+    "MemorySummary",
+    "PerfResult",
+    "CoreResult",
+    "VulnerabilityReport",
+    "SimOutcome",
+}
+
+_HANDLE_TYPES = {"IO", "TextIO", "BinaryIO", "IOBase", "TextIOWrapper", "FileIO"}
+
+
+def _annotation_idents(annotation: ast.expr) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            names.update(
+                part
+                for part in node.value.replace("[", " ")
+                .replace("]", " ")
+                .replace(",", " ")
+                .replace(".", " ")
+                .split()
+            )
+    return names
+
+
+@register
+class PicklabilityRule(Rule):
+    id = "REP005"
+    name = "picklability"
+    description = (
+        "types crossing the fork-pool boundary (SimJob/SimResult closure) "
+        "must avoid lambdas, open handles and locals-defined classes"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        classes: dict[str, ast.ClassDef] = {
+            node.name: node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        checked = {name for name in classes if name in _ROOT_CLASSES}
+        if not checked:
+            return
+        # Close over field annotations within this file.
+        frontier = list(checked)
+        while frontier:
+            current = classes[frontier.pop()]
+            for stmt in current.body:
+                if not isinstance(stmt, ast.AnnAssign):
+                    continue
+                for ident in _annotation_idents(stmt.annotation):
+                    if ident in classes and ident not in checked:
+                        checked.add(ident)
+                        frontier.append(ident)
+
+        for name in sorted(checked):
+            node = classes[name]
+            yield from self._check_class(ctx, node)
+
+    def _check_class(self, ctx: LintContext, node: ast.ClassDef) -> Iterator[Finding]:
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{node.name} is defined inside {ancestor.name}(); "
+                    "locals-defined classes cannot be pickled into workers",
+                )
+                break
+        for stmt in node.body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Lambda):
+                    yield self.finding(
+                        ctx,
+                        sub,
+                        f"lambda inside picklable type {node.name} "
+                        "(lambdas cannot cross the fork-pool boundary); "
+                        "use a module-level function or e.g. "
+                        "field(default_factory=dict)",
+                    )
+                elif (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Name)
+                    and sub.func.id == "open"
+                ):
+                    yield self.finding(
+                        ctx,
+                        sub,
+                        f"open() inside picklable type {node.name}; file "
+                        "handles cannot be pickled — store the path instead",
+                    )
+            if isinstance(stmt, ast.AnnAssign):
+                handles = _annotation_idents(stmt.annotation) & _HANDLE_TYPES
+                if handles:
+                    yield self.finding(
+                        ctx,
+                        stmt,
+                        f"field of picklable type {node.name} is annotated "
+                        f"{', '.join(sorted(handles))}; file handles cannot "
+                        "be pickled — store the path instead",
+                    )

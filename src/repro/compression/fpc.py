@@ -34,6 +34,7 @@ from repro.compression.base import BLOCK_BYTES, CompressionScheme, check_block
 __all__ = ["FPCCompressor"]
 
 _WORD_BYTES = 4
+_WORD_MASK = (1 << (8 * _WORD_BYTES)) - 1
 _NUM_WORDS = BLOCK_BYTES // _WORD_BYTES
 _PREFIX_BITS = 3
 
@@ -121,12 +122,12 @@ class FPCCompressor(CompressionScheme):
             elif prefix == 0b011:
                 word = _sign_extend(reader.read(16), 16, 32)
             elif prefix == 0b100:
-                word = reader.read(16) << 16
+                word = (reader.read(16) << 16) & _WORD_MASK
             elif prefix == 0b101:
                 pair = reader.read(16)
                 low = _sign_extend(pair & 0xFF, 8, 16)
                 high = _sign_extend(pair >> 8, 8, 16)
-                word = low | (high << 16)
+                word = (low | (high << 16)) & _WORD_MASK
             elif prefix == 0b110:
                 word = reader.read(8) * 0x01010101
             else:

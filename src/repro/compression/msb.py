@@ -27,6 +27,7 @@ __all__ = ["MSBCompressor"]
 
 _WORD_BYTES = 8
 _WORD_BITS = 64
+_WORD_MASK = (1 << _WORD_BITS) - 1
 _NUM_WORDS = BLOCK_BYTES // _WORD_BYTES
 
 
@@ -70,7 +71,7 @@ class MSBCompressor(CompressionScheme):
         """Remove the compared field, closing the gap."""
         low = word & ((1 << self.field_start) - 1)
         high = word >> (self.field_start + self.compare_bits)
-        return low | (high << self.field_start)
+        return (low | (high << self.field_start)) & _WORD_MASK
 
     def _insert_field(self, reduced: int, field: int) -> int:
         """Re-insert the shared field into a reduced word."""
@@ -80,7 +81,7 @@ class MSBCompressor(CompressionScheme):
             low
             | (field << self.field_start)
             | (high << (self.field_start + self.compare_bits))
-        )
+        ) & _WORD_MASK
 
     def compress(self, block: bytes, budget_bits: int) -> Optional[Bits]:
         check_block(block)

@@ -89,6 +89,7 @@ class RLECompressor(CompressionScheme):
         on odd offsets; the next candidate offset is the next even byte at
         or after the run's end.
         """
+        check_block(block)
         runs: list[Run] = []
         freed = 0
         offset = 0

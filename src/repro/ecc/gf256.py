@@ -35,7 +35,7 @@ class GF256:
         for power in range(255):
             self.exp[power] = value
             self.log[value] = power
-            doubled = value << 1
+            doubled = (value << 1) & 0x1FF  # 9-bit intermediate, reduced below
             doubled ^= _POLY if doubled & 0x100 else 0
             value = doubled ^ value
         for power in range(255, 512):

@@ -64,7 +64,7 @@ class HammingSEC:
                 check ^= self.columns[pos]
             v >>= 1
             pos += 1
-        return data | (check << self.k)
+        return (data | (check << self.k)) & ((1 << self.n) - 1)
 
     def syndrome(self, word: int) -> int:
         """Syndrome of an ``n``-bit received word (0 means valid)."""

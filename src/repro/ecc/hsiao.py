@@ -153,7 +153,7 @@ class HsiaoCode:
         for table in self._enc_tables:
             check ^= table[v & 0xFF]
             v >>= 8
-        return data | (check << self.k)
+        return (data | (check << self.k)) & ((1 << self.n) - 1)
 
     def syndrome(self, word: int) -> int:
         """Syndrome of an ``n``-bit received word (0 means valid)."""

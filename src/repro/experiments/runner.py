@@ -44,7 +44,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
 from enum import Enum
 from pathlib import Path
-from typing import Optional, Sequence, Union
+from typing import Any, Optional, Sequence, Union
 
 from repro.core.config import COPConfig
 from repro.core.controller import ProtectedMemory, ProtectionMode
@@ -53,6 +53,7 @@ from repro.experiments.simruns import SimOutcome, run_benchmark, run_mix
 from repro.obs import (
     NULL_OBS,
     NULL_TRACER,
+    EventTracer,
     MetricsRegistry,
     Observability,
     Profiler,
@@ -128,7 +129,7 @@ class SimJob:
     program per core, via :func:`run_mix`).
     """
 
-    benchmark: Union[str, tuple]
+    benchmark: Union[str, tuple[str, ...]]
     mode: ProtectionMode
     scale: Scale = Scale.SMALL
     cores: int = 4
@@ -141,7 +142,7 @@ class SimJob:
     def is_mix(self) -> bool:
         return isinstance(self.benchmark, tuple)
 
-    def spec(self) -> dict:
+    def spec(self) -> dict[str, Any]:
         """Stable, JSON-serialisable description of this job (cache key)."""
         return {
             "benchmark": (
@@ -181,10 +182,10 @@ class SimResult:
     vulnerability: VulnerabilityReport
     memory: MemorySummary
     #: Sanitised per-job metrics snapshot ({} when metrics were off).
-    metrics: dict = field(default_factory=dict)
+    metrics: dict[str, Any] = field(default_factory=dict)
 
 
-def _plain(value):
+def _plain(value: Any) -> Any:
     """Recursively reduce dataclass-dict output to plain JSON types."""
     if isinstance(value, Enum):
         return value.value
@@ -360,7 +361,7 @@ def _fork_available() -> bool:
 # ---------------------------------------------------------------------------
 
 
-def _sanitize_snapshot(snapshot: dict) -> dict:
+def _sanitize_snapshot(snapshot: dict[str, Any]) -> dict[str, Any]:
     """Drop host wall-clock gauges — the only nondeterministic metrics."""
     if not snapshot:
         return snapshot
@@ -372,7 +373,11 @@ def _sanitize_snapshot(snapshot: dict) -> dict:
     return {**snapshot, "gauges": gauges}
 
 
-def _execute_job(job: SimJob, collect_metrics: bool, tracer=None) -> SimResult:
+def _execute_job(
+    job: SimJob,
+    collect_metrics: bool,
+    tracer: Optional[EventTracer] = None,
+) -> SimResult:
     """Run one job against a fresh observability bundle (worker entry).
 
     ``tracer`` is only ever non-None on the in-process serial path — a

@@ -123,6 +123,7 @@ class DRAMStats:
             "accesses": self.accesses,
             "row_hits": self.row_hits,
             "row_misses": self.row_misses,
+            "busy_ns": self.busy_ns,
         }
 
     def merge(self, other: "DRAMStats") -> "DRAMStats":

@@ -59,6 +59,7 @@ class SchedulerStats:
             "serviced_reads": self.serviced_reads,
             "serviced_writes": self.serviced_writes,
             "drain_entries": self.drain_entries,
+            "total_read_latency_ns": self.total_read_latency_ns,
         }
 
     def merge(self, other: "SchedulerStats") -> "SchedulerStats":

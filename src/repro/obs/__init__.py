@@ -28,7 +28,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import IO, Optional, Union
+from typing import IO, Any, Optional, Union
 
 from repro.obs.metrics import (
     NULL_REGISTRY,
@@ -104,7 +104,7 @@ class Observability:
             seed=int(os.environ.get("REPRO_TRACE_SEED", "0")),
         )
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         """Combined metrics + profile snapshot for embedding in results."""
         if not self.metrics.enabled:
             return {}

@@ -24,7 +24,7 @@ check) when observability is off.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Mapping, Optional
+from typing import Any, Mapping, Union
 
 __all__ = [
     "Counter",
@@ -123,7 +123,7 @@ class Histogram:
                 return min(max(low * math.sqrt(2.0), self.min), self.max)
         return self.max
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         if not self.count:
             return {"count": 0}
         return {
@@ -140,7 +140,7 @@ class Histogram:
             },
         }
 
-    def merge_dict(self, data: Mapping) -> None:
+    def merge_dict(self, data: Mapping[str, Any]) -> None:
         """Fold a snapshot produced by :meth:`as_dict` into this histogram."""
         if not data.get("count"):
             return
@@ -207,7 +207,7 @@ class MetricsRegistry:
 
     # -- snapshots -----------------------------------------------------------
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         """JSON-serialisable state of every metric."""
         return {
             "counters": {n: c.value for n, c in sorted(self._counters.items())},
@@ -218,7 +218,7 @@ class MetricsRegistry:
         }
 
     @staticmethod
-    def delta(before: Mapping, after: Mapping) -> dict:
+    def delta(before: Mapping[str, Any], after: Mapping[str, Any]) -> dict[str, Any]:
         """Counter differences between two snapshots (gauges: after wins)."""
         counters = {
             name: value - before.get("counters", {}).get(name, 0)
@@ -230,7 +230,9 @@ class MetricsRegistry:
             "histograms": dict(after.get("histograms", {})),
         }
 
-    def merge(self, other: "MetricsRegistry | Mapping") -> "MetricsRegistry":
+    def merge(
+        self, other: Union["MetricsRegistry", Mapping[str, Any]]
+    ) -> "MetricsRegistry":
         """Fold another registry (or snapshot) into this one.
 
         Counters add, gauges keep the max, histograms combine — the
@@ -313,7 +315,7 @@ class NullRegistry(MetricsRegistry):
     def update_counters(self, prefix: str, values: Mapping[str, int]) -> None:
         pass
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         return {"counters": {}, "gauges": {}, "histograms": {}}
 
 
@@ -321,7 +323,7 @@ class NullRegistry(MetricsRegistry):
 NULL_REGISTRY = NullRegistry()
 
 
-def _tree_insert(tree: dict, name: str, leaf: str) -> None:
+def _tree_insert(tree: dict[str, Any], name: str, leaf: str) -> None:
     parts = name.split(".")
     node = tree
     for part in parts[:-1]:
@@ -329,13 +331,13 @@ def _tree_insert(tree: dict, name: str, leaf: str) -> None:
     node[parts[-1]] = leaf
 
 
-def _format_value(value) -> str:
+def _format_value(value: Union[int, float]) -> str:
     if isinstance(value, float) and not value.is_integer():
         return f"{value:,.3f}"
     return f"{int(value):,}"
 
 
-def render_tree(snapshot: Mapping) -> str:
+def render_tree(snapshot: Mapping[str, Any]) -> str:
     """Render a snapshot as an indented metrics tree.
 
     Example::
@@ -366,7 +368,7 @@ def render_tree(snapshot: Mapping) -> str:
 
     lines: list[str] = []
 
-    def walk(node: dict, depth: int) -> None:
+    def walk(node: dict[str, Any], depth: int) -> None:
         pad = "  " * depth
         width = max(
             (len(k) for k, v in node.items() if not isinstance(v, dict)),

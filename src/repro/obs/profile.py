@@ -11,7 +11,10 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Iterator
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["Profiler", "NullProfiler", "NULL_PROFILER"]
 
@@ -39,7 +42,7 @@ class Profiler:
     def count(self, name: str, amount: int = 1) -> None:
         self.counts[name] = self.counts.get(name, 0) + amount
 
-    def summary(self) -> dict:
+    def summary(self) -> dict[str, Any]:
         return {
             "phases": {
                 name: {
@@ -51,7 +54,7 @@ class Profiler:
             "counts": dict(sorted(self.counts.items())),
         }
 
-    def publish(self, registry, prefix: str = "profile") -> None:
+    def publish(self, registry: "MetricsRegistry", prefix: str = "profile") -> None:
         """Mirror the profile into a metrics registry (gauges + counters)."""
         for name, seconds in self.phase_seconds.items():
             registry.set_gauge(f"{prefix}.{name}.seconds", seconds)
@@ -89,7 +92,7 @@ class NullProfiler(Profiler):
     def count(self, name: str, amount: int = 1) -> None:
         pass
 
-    def publish(self, registry, prefix: str = "profile") -> None:
+    def publish(self, registry: "MetricsRegistry", prefix: str = "profile") -> None:
         pass
 
 

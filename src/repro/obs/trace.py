@@ -19,7 +19,7 @@ import random
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import IO, Iterator, Optional, Union
+from typing import IO, Any, Iterator, Optional, Union
 
 __all__ = ["EventTracer", "NullTracer", "NULL_TRACER", "summarize_trace"]
 
@@ -61,7 +61,7 @@ class EventTracer:
             return False
         return self._rng.random() < self.sample_rate
 
-    def emit(self, kind: str, **fields) -> bool:
+    def emit(self, kind: str, **fields: object) -> bool:
         """Record one event; returns whether it survived sampling."""
         self._seq += 1
         if not self._keep():
@@ -74,7 +74,7 @@ class EventTracer:
         return True
 
     @contextmanager
-    def span(self, name: str, **fields) -> Iterator[None]:
+    def span(self, name: str, **fields: object) -> Iterator[None]:
         """Bracket a simulator phase; emits a span event with wall time."""
         start = time.perf_counter()
         try:
@@ -105,7 +105,7 @@ class EventTracer:
     def __enter__(self) -> "EventTracer":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     @property
@@ -121,11 +121,11 @@ class NullTracer(EventTracer):
     def __init__(self) -> None:
         super().__init__(io.StringIO(), sample_rate=0.0)
 
-    def emit(self, kind: str, **fields) -> bool:
+    def emit(self, kind: str, **fields: object) -> bool:
         return False
 
     @contextmanager
-    def span(self, name: str, **fields) -> Iterator[None]:
+    def span(self, name: str, **fields: object) -> Iterator[None]:
         yield
 
     def close(self) -> None:
@@ -136,14 +136,14 @@ class NullTracer(EventTracer):
 NULL_TRACER = NullTracer()
 
 
-def summarize_trace(path: Union[str, Path]) -> dict:
+def summarize_trace(path: Union[str, Path]) -> dict[str, Any]:
     """Parse a trace file into a summary dict (raises on malformed lines).
 
     Returns event counts by kind, span wall-time totals by name, and
     latency aggregates over ``latency_ns`` fields of access events.
     """
     counts: dict[str, int] = {}
-    spans: dict[str, dict] = {}
+    spans: dict[str, dict[str, Any]] = {}
     latencies: list[float] = []
     total = 0
     with open(path, "r", encoding="utf-8") as handle:
@@ -168,7 +168,7 @@ def summarize_trace(path: Union[str, Path]) -> dict:
                 entry["wall_ms"] += record.get("wall_ms", 0.0)
             elif "latency_ns" in record:
                 latencies.append(record["latency_ns"])
-    summary = {"events": total, "by_kind": counts, "spans": spans}
+    summary: dict[str, Any] = {"events": total, "by_kind": counts, "spans": spans}
     if latencies:
         latencies.sort()
         summary["latency_ns"] = {
@@ -181,7 +181,7 @@ def summarize_trace(path: Union[str, Path]) -> dict:
     return summary
 
 
-def render_trace_summary(summary: dict) -> str:
+def render_trace_summary(summary: dict[str, Any]) -> str:
     """Human-readable rendering of :func:`summarize_trace`'s output."""
     lines = [f"events: {summary['events']}"]
     for kind in sorted(summary["by_kind"]):

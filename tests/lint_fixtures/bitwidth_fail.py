@@ -1,0 +1,15 @@
+# lint-as: repro/ecc/bitwidth_fail.py
+"""REP003 failing fixture: unmasked shifts and unvalidated blocks."""
+
+
+def place_check_bits(data: int, check: int, k: int) -> int:
+    return data | (check << k)  # unmasked: can exceed the codeword width
+
+
+def widen(word: int) -> int:
+    return word << 16  # unmasked data-carrying shift
+
+
+def encode_block(block: bytes) -> int:
+    # never validates len(block) == 64
+    return int.from_bytes(block[:8], "little")

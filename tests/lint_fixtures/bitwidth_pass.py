@@ -1,0 +1,33 @@
+# lint-as: repro/ecc/bitwidth_pass.py
+"""REP003 passing fixture: masked shifts, validated blocks, safe idioms."""
+
+
+def check_block(block: bytes) -> bytes:
+    if len(block) != 64:
+        raise ValueError("expected 64-byte block")
+    return block
+
+
+def place_check_bits(data: int, check: int, k: int, n: int) -> int:
+    return (data | (check << k)) & ((1 << n) - 1)  # masked to width n
+
+
+def bit_is_set(word: int, i: int) -> bool:
+    return bool(word & (1 << i))  # single-bit select needs no mask
+
+
+def field_mask(width: int, start: int) -> int:
+    return ((1 << width) - 1) << start  # mask construction
+
+
+def pack_halves(low: int, high: int) -> int:
+    return ((low & 0xFFFF) | ((high & 0xFFFF) << 16)) & 0xFFFF_FFFF
+
+
+def in_range(value: int, width: int) -> bool:
+    return value < 1 << width  # bounds check, not value construction
+
+
+def encode_block(block: bytes) -> int:
+    check_block(block)
+    return int.from_bytes(block[:8], "little")

@@ -1,0 +1,31 @@
+# lint-as: repro/simulation/determinism_fail.py
+"""REP001 failing fixture: ambient entropy inside a guarded package."""
+
+import os
+import random
+import time
+from datetime import datetime
+
+
+def jitter() -> float:
+    return random.random()  # global RNG: poisons the result cache
+
+
+def pick(items):
+    return random.choice(items)  # global RNG again
+
+
+def stamp() -> float:
+    return time.time()  # host wall clock
+
+
+def label() -> str:
+    return datetime.now().isoformat()  # host wall clock
+
+
+def salt() -> bytes:
+    return os.urandom(8)  # OS entropy
+
+
+def make_rng():
+    return random.Random()  # unseeded: irreproducible

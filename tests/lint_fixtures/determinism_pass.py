@@ -1,0 +1,21 @@
+# lint-as: repro/simulation/determinism_pass.py
+"""REP001 passing fixture: explicitly seeded generators only."""
+
+import random
+
+
+def make_rng(seed: int) -> random.Random:
+    return random.Random(f"fixture|{seed}")
+
+
+def draw(seed: int) -> float:
+    rng = random.Random(seed)
+    return rng.random()  # instance method, not the global RNG
+
+
+class Sim:
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+
+    def step(self) -> int:
+        return self.rng.randint(0, 63)

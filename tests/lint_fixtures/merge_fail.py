@@ -1,0 +1,21 @@
+# lint-as: repro/core/merge_fail.py
+"""REP002 failing fixture: merge()/as_dict() drop fields."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class LeakyStats:
+    reads: int = 0
+    writes: int = 0
+    stalls: int = 0
+
+    def as_dict(self) -> dict:
+        # drops `stalls`
+        return {"reads": self.reads, "writes": self.writes}
+
+    def merge(self, other: "LeakyStats") -> "LeakyStats":
+        # drops `stalls` too
+        self.reads += other.reads
+        self.writes += other.writes
+        return self

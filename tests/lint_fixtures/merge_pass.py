@@ -1,0 +1,36 @@
+# lint-as: repro/core/merge_pass.py
+"""REP002 passing fixture: exhaustive iteration and complete manual folds."""
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class IteratedStats:
+    reads: int = 0
+    writes: int = 0
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def merge(self, other: "IteratedStats") -> "IteratedStats":
+        for name, value in other.as_dict().items():
+            setattr(self, name, getattr(self, name) + value)
+        return self
+
+
+@dataclass
+class ManualStats:
+    hits: int = 0
+    misses: int = 0
+    #: Container fields may be excluded from the flat as_dict() view.
+    per_bank: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses}
+
+    def merge(self, other: "ManualStats") -> "ManualStats":
+        self.hits += other.hits
+        self.misses += other.misses
+        for key, value in other.per_bank.items():
+            self.per_bank[key] = self.per_bank.get(key, 0) + value
+        return self

@@ -1,0 +1,15 @@
+# lint-as: repro/core/obsguard_fail.py
+"""REP004 failing fixture: unguarded trace emission on a hot path."""
+
+
+class Controller:
+    def __init__(self, obs) -> None:
+        self.obs = obs
+
+    def read(self, addr: int) -> None:
+        # Builds the payload dict on every access, traced or not.
+        self.obs.trace.emit("read", addr=addr, mode="cop")
+
+
+def service(tracer, addr: int) -> None:
+    tracer.emit("service", addr=addr)

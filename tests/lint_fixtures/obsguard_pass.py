@@ -1,0 +1,22 @@
+# lint-as: repro/core/obsguard_pass.py
+"""REP004 passing fixture: both recognised guard shapes."""
+
+
+class Controller:
+    def __init__(self, obs) -> None:
+        self.obs = obs
+
+    def read(self, addr: int) -> None:
+        if self.obs.enabled:
+            self.obs.trace.emit("read", addr=addr, mode="cop")
+
+    def write(self, addr: int) -> None:
+        if not self.obs.enabled:
+            return
+        payload = {"addr": addr, "mode": "cop"}
+        self.obs.trace.emit("write", **payload)
+
+
+def service(obs, tracer, addr: int, is_write: bool) -> None:
+    if obs.enabled and not is_write:
+        tracer.emit("service", addr=addr)

@@ -1,0 +1,23 @@
+# lint-as: repro/experiments/pickle_fail.py
+"""REP005 failing fixture: unpicklable constructs in the job closure."""
+
+from dataclasses import dataclass, field
+from typing import IO
+
+
+@dataclass(frozen=True)
+class SimJob:
+    benchmark: str
+    seed: int = 11
+    #: lambda default factories cannot cross the fork-pool boundary
+    tags: list = field(default_factory=lambda: [])
+    #: file handles cannot be pickled
+    log: IO[str] = None
+
+
+def make_result_type():
+    @dataclass(frozen=True)
+    class SimResult:  # locals-defined: unpicklable by qualified name
+        value: float = 0.0
+
+    return SimResult

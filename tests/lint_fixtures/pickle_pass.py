@@ -1,0 +1,25 @@
+# lint-as: repro/experiments/pickle_pass.py
+"""REP005 passing fixture: clean picklable job/result types."""
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class MemorySummary:
+    resident_blocks: int = 0
+
+
+@dataclass(frozen=True)
+class SimJob:
+    benchmark: str
+    seed: int = 11
+    tags: list = field(default_factory=list)
+    #: store the path, open the handle on the worker side
+    log_path: Path = Path("results/log.jsonl")
+
+
+@dataclass(frozen=True)
+class SimResult:
+    memory: MemorySummary
+    metrics: dict = field(default_factory=dict)

@@ -1,0 +1,12 @@
+# lint-as: repro/simulation/suppressed.py
+"""Suppression fixture: one silenced finding, one live finding."""
+
+import random
+
+
+def acceptable() -> float:
+    return random.random()  # repro: noqa[determinism]
+
+
+def not_acceptable() -> float:
+    return random.random()
