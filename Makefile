@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench results report examples lint obs-smoke par-smoke clean
+.PHONY: install test bench results report examples lint obs-smoke par-smoke chaos-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -23,7 +23,7 @@ report:
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
 
-# Static analysis gate: the repo-specific AST linter (five invariant
+# Static analysis gate: the repo-specific AST linter (six invariant
 # rules, see docs/static-analysis.md) always runs; mypy and ruff run
 # when installed (CI installs them; the dev container may not).
 lint:
@@ -63,6 +63,23 @@ par-smoke:
 	diff /tmp/cop-par-serial/fig12.json /tmp/cop-par-parallel/fig12.json
 	diff /tmp/cop-par-serial/fig12.txt /tmp/cop-par-parallel/fig12.txt
 	@echo "par-smoke: parallel output is byte-identical to serial"
+
+# Fault-tolerance gate: one figure cleanly (serial, uncached), then the
+# same figure under deterministic injected worker crashes and hangs
+# (REPRO_CHAOS) with timeouts + retries doing the recovering — the two
+# artifact sets must be byte-identical (see docs/resilience.md).
+chaos-smoke:
+	rm -rf /tmp/cop-chaos-clean /tmp/cop-chaos-faulty
+	REPRO_RESULTS_DIR=/tmp/cop-chaos-clean PYTHONPATH=src \
+		$(PYTHON) -m repro.experiments.cli fig12 --scale smoke \
+		--jobs 1 --no-cache
+	REPRO_RESULTS_DIR=/tmp/cop-chaos-faulty PYTHONPATH=src \
+		REPRO_CHAOS=crash:0.15,hang:0.1,seed:5 \
+		$(PYTHON) -m repro.experiments.cli fig12 --scale smoke \
+		--jobs 2 --no-cache --timeout 5 --retries 6
+	diff /tmp/cop-chaos-clean/fig12.json /tmp/cop-chaos-faulty/fig12.json
+	diff /tmp/cop-chaos-clean/fig12.txt /tmp/cop-chaos-faulty/fig12.txt
+	@echo "chaos-smoke: fault-injected run is byte-identical to clean serial"
 
 clean:
 	rm -rf results .pytest_cache .hypothesis

@@ -1,6 +1,6 @@
 """Repo-specific static analysis for the COP reproduction.
 
-``python -m repro.analysis [paths] --check`` runs five AST-based rules
+``python -m repro.analysis [paths] --check`` runs six AST-based rules
 that machine-check the invariants the simulator's correctness rests on:
 
 ``REP001 determinism``
@@ -21,6 +21,10 @@ that machine-check the invariants the simulator's correctness rests on:
     Types that cross the fork-pool boundary (``SimJob``/``SimResult``
     and their field closure) must avoid lambdas, file handles and
     locals-defined classes.
+``REP006 broad-except``
+    Bare/catch-all ``except`` handlers must re-raise or record a metric
+    — failures are detected and counted, never silently swallowed (the
+    corrupt-cache-entry bug class from PR 4).
 
 Per-line suppression: ``# repro: noqa[rule-id]`` (or a bare
 ``# repro: noqa`` for all rules).  See ``docs/static-analysis.md``.
@@ -42,6 +46,7 @@ from repro.analysis import rules_merge  # noqa: F401
 from repro.analysis import rules_bitwidth  # noqa: F401
 from repro.analysis import rules_obsguard  # noqa: F401
 from repro.analysis import rules_pickle  # noqa: F401
+from repro.analysis import rules_except  # noqa: F401
 
 __all__ = [
     "Finding",

@@ -1,0 +1,93 @@
+"""REP006 — no silent swallowing of bare/over-broad exceptions.
+
+The resilience discipline (docs/resilience.md) is that failures are
+*detected, bounded and recoverable* — never silent.  A bare ``except:``
+or a catch-all ``except Exception:`` whose body neither re-raises nor
+records a metric is the harness-level version of silent data corruption:
+the failure happened, nothing counted it, and the bad state (a corrupt
+cache entry, a half-written artifact) survives to fail again forever.
+That is exactly how ``ResultCache.load`` once lost hours of Monte-Carlo
+work with no trace.
+
+A broad handler is compliant when its body contains at least one of:
+
+* a ``raise`` (re-raise or translation into a domain error);
+* a metric-recording call — ``.inc(...)``, ``.observe(...)``,
+  ``.set_gauge(...)`` or ``.update_counters(...)`` — so the event shows
+  up in the obs snapshot;
+* a ``# repro: noqa[REP006]`` suppression with, ideally, a reason.
+
+``except SomeSpecificError:`` handlers are not flagged: naming the
+exception is itself the evidence that the author decided what may be
+swallowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import Finding, LintContext, Rule, register
+
+_BROAD_NAMES = {"Exception", "BaseException"}
+_METRIC_METHODS = {"inc", "observe", "set_gauge", "update_counters"}
+
+
+def _broad_name(node: ast.expr) -> str | None:
+    """The over-broad class name this expression catches, if any."""
+    if isinstance(node, ast.Name) and node.id in _BROAD_NAMES:
+        return node.id
+    if isinstance(node, ast.Attribute) and node.attr in _BROAD_NAMES:
+        return node.attr
+    if isinstance(node, ast.Tuple):
+        for element in node.elts:
+            name = _broad_name(element)
+            if name is not None:
+                return name
+    return None
+
+
+def _records_metric(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _METRIC_METHODS
+        ):
+            return True
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+@register
+class BroadExceptRule(Rule):
+    id = "REP006"
+    name = "broad-except"
+    description = (
+        "bare or catch-all except handlers must re-raise or record a "
+        "metric so failures are detected, not silently swallowed"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                caught = "bare except"
+            else:
+                name = _broad_name(node.type)
+                if name is None:
+                    continue
+                caught = f"except {name}"
+            if _reraises(node) or _records_metric(node):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"{caught} swallows failures invisibly; re-raise, record "
+                "a metric (e.g. obs.metrics.inc), or narrow the handler "
+                "to the exceptions you mean to tolerate",
+            )

@@ -36,6 +36,9 @@ _ROOT_CLASSES = {
     "CoreResult",
     "VulnerabilityReport",
     "SimOutcome",
+    # The resilience policy rides along with every _worker_entry submit.
+    "ResilienceConfig",
+    "ChaosConfig",
 }
 
 _HANDLE_TYPES = {"IO", "TextIO", "BinaryIO", "IOBase", "TextIOWrapper", "FileIO"}

@@ -14,6 +14,12 @@ results are bit-identical to serial runs and cached under
     cop-experiments all --scale full --jobs 8
     cop-experiments fig11 --no-cache     # force re-simulation
 
+Fault tolerance (see docs/resilience.md; also ``REPRO_TIMEOUT``,
+``REPRO_RETRIES`` and the test-only ``REPRO_CHAOS`` knobs)::
+
+    cop-experiments all --scale full --jobs 8 --timeout 600 --retries 2
+    cop-experiments all --scale full --resume   # after a Ctrl-C'd sweep
+
 Observability::
 
     cop-experiments fig11 --obs                    # embed a metrics snapshot
@@ -154,6 +160,34 @@ def main(argv: list[str] | None = None) -> int:
         "(also: REPRO_NO_CACHE=1)",
     )
     parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock budget; an attempt that exceeds it is "
+        "killed and retried (default: $REPRO_TIMEOUT or unlimited)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="extra attempts for a job whose worker times out or "
+        "crashes (default: $REPRO_RETRIES or 0)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a killed sweep: skip jobs the checkpoint journal "
+        "under results/.journal marks complete (see docs/resilience.md)",
+    )
+    parser.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort the sweep on the first worker fault instead of "
+        "retrying",
+    )
+    parser.add_argument(
         "--chart",
         action="store_true",
         help="also render each column as an ASCII bar chart",
@@ -221,6 +255,15 @@ def main(argv: list[str] | None = None) -> int:
             scale = Scale.from_env()
         except ValueError as exc:
             parser.error(str(exc))
+
+    from repro.experiments import resilience
+
+    resilience.configure(
+        timeout=args.timeout,
+        retries=args.retries,
+        resume=True if args.resume else None,
+        fail_fast=True if args.fail_fast else None,
+    )
 
     if args.trace_out and (args.jobs or 0) > 1:
         print(

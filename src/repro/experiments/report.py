@@ -160,6 +160,52 @@ def _observability_section() -> list[str]:
     return lines
 
 
+def _execution_health_section() -> list[str]:
+    """Surface what the resilience layer caught: quarantines + journals.
+
+    A clean repo shows nothing here; a row appearing means a corrupt
+    cache entry was detected (and set aside) or a sweep checkpointed
+    work — exactly the events that must never pass silently (see
+    docs/resilience.md).
+    """
+    from repro.experiments.resilience import CheckpointJournal
+
+    lines: list[str] = []
+    quarantine = results_dir() / ".cache" / "quarantine"
+    quarantined = sorted(quarantine.glob("*.pkl")) if quarantine.exists() else []
+    journal_dir = results_dir() / ".journal"
+    journals = sorted(journal_dir.glob("*.jsonl")) if journal_dir.exists() else []
+    if not quarantined and not journals:
+        return lines
+    lines.extend(["", "## Execution health", ""])
+    if quarantined:
+        lines.append(
+            f"**{len(quarantined)} corrupt cache entr"
+            f"{'y' if len(quarantined) == 1 else 'ies'} quarantined** "
+            f"under `{quarantine}` (checksum/format verification failed; "
+            "the results were recomputed, not served):"
+        )
+        lines.append("")
+        for path in quarantined[:10]:
+            lines.append(f"* `{path.name}`")
+        if len(quarantined) > 10:
+            lines.append(f"* ... and {len(quarantined) - 10} more")
+        lines.append("")
+    if journals:
+        lines.extend(
+            [
+                "| checkpoint journal (sweep) | completed jobs | torn lines |",
+                "|---|---|---|",
+            ]
+        )
+        for path in journals:
+            journal = CheckpointJournal(path)
+            lines.append(
+                f"| {path.stem} | {len(journal)} | {journal.torn_lines} |"
+            )
+    return lines
+
+
 def generate() -> str:
     """The markdown scorecard."""
     lines = [
@@ -185,6 +231,7 @@ def generate() -> str:
         for check in missing:
             lines.append(f"* {check.label} (needs results/{check.source}.json)")
     lines.extend(_observability_section())
+    lines.extend(_execution_health_section())
     return "\n".join(lines)
 
 

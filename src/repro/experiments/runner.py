@@ -30,6 +30,16 @@ code-version salt derived from the simulator's source files, so editing
 the simulator invalidates stale results automatically.  Escape hatches:
 ``--no-cache`` / ``REPRO_NO_CACHE=1``.
 
+Fault tolerance (see :mod:`repro.experiments.resilience` and
+docs/resilience.md): every cache entry is checksummed and corrupt
+entries are quarantined — never silently treated as a miss; each
+completed job is checkpointed to an fsync'd journal as it finishes, so
+a killed sweep resumes with ``--resume``; per-attempt timeouts, bounded
+retries with deterministic backoff, and broken-pool recovery (degrading
+to serial execution after repeated pool failures) keep one bad worker
+from costing the batch.  Parallel runs — even fault-injected ones —
+remain **bit-identical** to serial runs.
+
 Event tracing (``--trace``) requires the simulation to actually execute
 in-process, so an enabled tracer forces serial, uncached execution.
 """
@@ -40,15 +50,27 @@ import hashlib
 import json
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field
+from dataclasses import replace as dataclasses_replace
 from enum import Enum
 from pathlib import Path
 from typing import Any, Optional, Sequence, Union
 
 from repro.core.config import COPConfig
 from repro.core.controller import ProtectedMemory, ProtectionMode
+from repro.experiments import resilience
 from repro.experiments.common import Scale, results_dir
+from repro.experiments.resilience import (
+    ChaosCrashError,
+    CheckpointJournal,
+    JobFailedError,
+    JobTimeoutError,
+    ResilienceConfig,
+)
 from repro.experiments.simruns import SimOutcome, run_benchmark, run_mix
 from repro.obs import (
     NULL_OBS,
@@ -243,22 +265,43 @@ def code_salt() -> str:
 # ---------------------------------------------------------------------------
 
 
+#: Cache entry framing: magic, then the sha256 of the pickled payload,
+#: then the payload.  The digest is verified before a single byte is
+#: unpickled, so bit rot is *detected* (and quarantined), never served.
+_CACHE_MAGIC = b"COPR1\n"
+_CACHE_DIGEST_BYTES = 32
+
+
 class ResultCache:
     """Content-addressed on-disk store of completed :class:`SimResult`\\ s.
 
     Files live under ``<root>/<key[:2]>/<key>.pkl`` (default root:
-    ``results/.cache/``).  Corrupt or unreadable entries are treated as
-    misses — the cache can always be deleted wholesale.
+    ``results/.cache/``).  Every entry carries a content checksum;
+    entries that fail verification (torn writes, bit rot, pre-checksum
+    legacy files, schema drift) are moved to ``<root>/quarantine/`` and
+    counted (``runner.cache.corrupt`` in the obs snapshot) instead of
+    silently masquerading as misses.  The cache can always be deleted
+    wholesale.
     """
 
     def __init__(
-        self, root: Union[str, Path, None] = None, enabled: bool = True
+        self,
+        root: Union[str, Path, None] = None,
+        enabled: bool = True,
+        obs: Observability = NULL_OBS,
     ) -> None:
         self.root = Path(root) if root is not None else results_dir() / ".cache"
         self.enabled = enabled
+        self.obs = obs
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
+        self.quarantined = 0
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
@@ -268,27 +311,69 @@ class ResultCache:
             return None
         path = self.path_for(key)
         try:
-            with path.open("rb") as fh:
-                result = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            blob = path.read_bytes()
+        except FileNotFoundError:
             self.misses += 1
             return None
+        except OSError as exc:
+            self.obs.metrics.inc("runner.cache.corrupt")
+            self._quarantine(path, f"unreadable: {exc}")
+            return None
+        if not blob.startswith(_CACHE_MAGIC):
+            self.obs.metrics.inc("runner.cache.corrupt")
+            self._quarantine(path, "missing checksum header")
+            return None
+        start = len(_CACHE_MAGIC)
+        digest = blob[start : start + _CACHE_DIGEST_BYTES]
+        payload = blob[start + _CACHE_DIGEST_BYTES :]
+        if hashlib.sha256(payload).digest() != digest:
+            self.obs.metrics.inc("runner.cache.corrupt")
+            self._quarantine(path, "checksum mismatch")
+            return None
+        try:
+            result = pickle.loads(payload)
+        except Exception as exc:
+            # The checksum passed, so the bytes are intact: this is
+            # schema drift (a result type changed without invalidating
+            # the key), not bit rot — still unusable, still quarantined.
+            self.obs.metrics.inc("runner.cache.corrupt")
+            self._quarantine(path, f"entry does not unpickle: {exc!r}")
+            return None
         if not isinstance(result, SimResult):
-            self.misses += 1
+            self.obs.metrics.inc("runner.cache.corrupt")
+            self._quarantine(path, f"entry is {type(result).__name__}, not SimResult")
             return None
         self.hits += 1
         return result
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a bad entry aside so it cannot fail again forever."""
+        self.corrupt += 1
+        self.misses += 1
+        target = self.quarantine_dir / path.name
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            path.replace(target)
+            self.quarantined += 1
+            self.obs.metrics.inc("runner.cache.quarantined")
+            disposition = f"quarantined to {target}"
+        except OSError as exc:
+            disposition = f"could not quarantine ({exc}); left in place"
+        print(f"[cache] corrupt entry {path}: {reason}; {disposition}", file=sys.stderr)
+        if self.obs.trace.enabled:
+            self.obs.trace.emit("cache_corrupt", path=str(path), reason=reason)
 
     def store(self, key: str, result: SimResult) -> None:
         if not self.enabled:
             return
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = _CACHE_MAGIC + hashlib.sha256(payload).digest() + payload
         # Atomic publish: concurrent writers of the same key are benign
         # (identical content), partial writes are never visible.
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with tmp.open("wb") as fh:
-            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.write_bytes(blob)
         tmp.replace(path)
         self.stores += 1
 
@@ -316,10 +401,11 @@ def configure(
 
 
 def reset() -> None:
-    """Clear :func:`configure` state (tests)."""
+    """Clear :func:`configure` state and resilience defaults (tests)."""
     global _configured_workers, _configured_cache
     _configured_workers = None
     _configured_cache = None
+    resilience.reset()
 
 
 def _env_truthy(name: str) -> bool:
@@ -327,7 +413,13 @@ def _env_truthy(name: str) -> bool:
 
 
 def resolve_workers(explicit: Optional[int] = None) -> int:
-    """Worker count: explicit arg > configure() > $REPRO_JOBS > 1 (serial)."""
+    """Worker count: explicit arg > configure() > $REPRO_JOBS > 1 (serial).
+
+    An unparsable ``REPRO_JOBS`` warns once on stderr, is recorded in
+    the obs snapshot (``runner.config.invalid_env.repro_jobs``) and
+    falls back to serial — a typo'd environment must not crash (or
+    silently reshape) a long sweep.
+    """
     if explicit is None:
         explicit = _configured_workers
     if explicit is None:
@@ -336,7 +428,10 @@ def resolve_workers(explicit: Optional[int] = None) -> int:
             try:
                 explicit = int(raw)
             except ValueError:
-                raise ValueError(f"REPRO_JOBS={raw!r} is not an integer")
+                resilience.invalid_env(
+                    "REPRO_JOBS", raw, "falling back to serial (1 worker)"
+                )
+                explicit = None
     workers = explicit if explicit is not None else 1
     return max(1, workers)
 
@@ -421,12 +516,31 @@ def _execute_job(
     )
 
 
+def _worker_entry(
+    job: SimJob,
+    collect_metrics: bool,
+    cfg: ResilienceConfig,
+    attempt: int,
+) -> SimResult:
+    """Pool-worker entry: one guarded attempt (timeout + chaos hook)."""
+    return resilience.guarded_execute(
+        job, collect_metrics, cfg, attempt, execute=_execute_job, in_worker=True
+    )
+
+
+#: Consecutive broken-pool incidents tolerated before run_jobs stops
+#: rebuilding pools and finishes the batch serially.
+_MAX_POOL_FAILURES = 3
+
+
 def run_jobs(
     jobs: Sequence[SimJob],
     workers: Optional[int] = None,
     obs: Optional[Observability] = None,
     use_cache: Optional[bool] = None,
     cache: Optional[ResultCache] = None,
+    resilience_config: Optional[ResilienceConfig] = None,
+    resume: Optional[bool] = None,
 ) -> list[SimResult]:
     """Execute a batch of jobs, in parallel when asked, reusing the cache.
 
@@ -434,55 +548,223 @@ def run_jobs(
     merged into ``obs`` (default: the process-wide bundle) in that same
     order, so serial, parallel and cached executions produce identical
     tables *and* identical merged metrics.
+
+    Execution is fault-tolerant (policy from ``resilience_config``, the
+    CLI flags, or ``REPRO_TIMEOUT``/``REPRO_RETRIES``/``REPRO_CHAOS``):
+    attempts that time out or lose their worker are retried with
+    deterministic backoff up to the retry budget; a pool that keeps
+    breaking is abandoned for serial execution; every completed job is
+    cached and journaled *as it finishes*, so a killed sweep re-run with
+    ``resume=True`` (CLI ``--resume``) skips finished work.  Because a
+    job's outcome is a pure function of its spec, the recovered results
+    are bit-identical to a fault-free serial run; only the parent-side
+    ``runner.*`` counters record that anything went wrong.
     """
     obs = obs if obs is not None else get_obs()
     collect_metrics = obs.metrics.enabled
     workers = resolve_workers(workers)
-    if obs.trace.enabled:
+    cfg = resilience.resolve(resilience_config)
+    if resume is not None:
+        cfg = dataclasses_replace(cfg, resume=resume)
+    tracing = obs.trace.enabled
+    if tracing:
         # Tracing needs the events to be emitted in this process, from a
         # real execution: force serial and bypass the cache.
         workers = 1
         use_cache = False
     if cache is None:
-        cache = ResultCache(enabled=cache_enabled(use_cache))
+        cache = ResultCache(enabled=cache_enabled(use_cache), obs=obs)
     elif use_cache is not None:
-        cache = ResultCache(root=cache.root, enabled=use_cache)
+        cache = ResultCache(root=cache.root, enabled=use_cache, obs=obs)
+    if cache.obs is NULL_OBS:
+        cache.obs = obs
 
     results: list[Optional[SimResult]] = [None] * len(jobs)
     keys = [job.key(obs=collect_metrics) for job in jobs]
-    pending = []
+    journal: Optional[CheckpointJournal] = None
+    if jobs and cache.enabled and not tracing:
+        journal = CheckpointJournal.for_keys(keys)
+
+    pending: list[int] = []
+    resumed = 0
     for index, key in enumerate(keys):
         hit = cache.load(key)
         if hit is not None:
             results[index] = hit
+            if journal is not None:
+                if cfg.resume and key in journal.done:
+                    resumed += 1
+                journal.record(key, jobs[index].label())
         else:
+            if cfg.resume and journal is not None and key in journal.done:
+                print(
+                    f"[resilience] journal marks {jobs[index].label()} "
+                    "complete but its cache entry is gone; recomputing",
+                    file=sys.stderr,
+                )
             pending.append(index)
+    if cfg.resume:
+        if not cache.enabled:
+            print(
+                "[resilience] --resume has nothing to resume from: the "
+                "result cache is disabled",
+                file=sys.stderr,
+            )
+        elif resumed:
+            obs.metrics.inc("runner.resume.skipped", resumed)
+            print(
+                f"[resilience] resume: skipped {resumed}/{len(jobs)} "
+                "already-completed job(s)",
+                file=sys.stderr,
+            )
+
+    attempts = {index: 1 for index in pending}
+
+    def on_success(index: int, result: SimResult) -> None:
+        """Checkpoint a finished job the moment it completes."""
+        results[index] = result
+        cache.store(keys[index], result)
+        if journal is not None:
+            journal.record(keys[index], jobs[index].label())
+
+    def note_failed_attempt(index: int, kind: str, exc: Exception) -> float:
+        """Account one transient failure; returns the backoff delay.
+
+        Raises :class:`JobFailedError` when the job is out of budget
+        (or immediately under ``fail_fast``) — completed jobs are
+        already cached/journaled, so a subsequent ``--resume`` run
+        picks up where this sweep died.
+        """
+        plural = {"timeout": "timeouts", "worker_crash": "worker_crashes"}
+        obs.metrics.inc(f"runner.resilience.{plural.get(kind, kind + 's')}")
+        label = jobs[index].label()
+        if cfg.fail_fast:
+            obs.metrics.inc("runner.resilience.jobs_failed")
+            raise JobFailedError(f"{label}: {exc} (fail-fast)") from exc
+        if attempts[index] >= cfg.retries + 1:
+            obs.metrics.inc("runner.resilience.jobs_failed")
+            raise JobFailedError(
+                f"{label}: gave up after {attempts[index]} attempt(s): {exc}"
+            ) from exc
+        attempts[index] += 1
+        obs.metrics.inc("runner.resilience.retries")
+        if obs.trace.enabled:
+            obs.trace.emit(
+                "job_retry", job=label, attempt=attempts[index], cause=kind
+            )
+        return resilience.backoff_delay(
+            keys[index], attempts[index], cfg.backoff_base, cfg.backoff_cap
+        )
+
+    def run_serial(indices: Sequence[int], tracer: Optional[EventTracer]) -> None:
+        for index in indices:
+            while True:
+                try:
+                    result = resilience.guarded_execute(
+                        jobs[index],
+                        collect_metrics,
+                        cfg,
+                        attempts[index],
+                        execute=_execute_job,
+                        tracer=tracer,
+                    )
+                except JobTimeoutError as exc:
+                    time.sleep(note_failed_attempt(index, "timeout", exc))
+                except ChaosCrashError as exc:
+                    time.sleep(note_failed_attempt(index, "worker_crash", exc))
+                else:
+                    on_success(index, result)
+                    break
+
+    def run_parallel(indices: Sequence[int]) -> list[int]:
+        """Fan pending jobs over fork pools, rebuilding broken ones.
+
+        Returns the indices still unfinished once the pool has broken
+        ``_MAX_POOL_FAILURES`` times — the caller degrades them to
+        serial execution rather than giving up.
+        """
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        remaining = list(indices)
+        pool_failures = 0
+        while remaining:
+            if pool_failures >= _MAX_POOL_FAILURES:
+                obs.metrics.inc("runner.resilience.pool_degraded")
+                print(
+                    f"[resilience] process pool broke {pool_failures} "
+                    f"times; finishing {len(remaining)} job(s) serially",
+                    file=sys.stderr,
+                )
+                return remaining
+            pool_broken = False
+            retry_delays: list[float] = []
+            next_remaining: list[int] = []
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(remaining)), mp_context=ctx
+                ) as pool:
+                    futures = {
+                        pool.submit(
+                            _worker_entry,
+                            jobs[index],
+                            collect_metrics,
+                            cfg,
+                            attempts[index],
+                        ): index
+                        for index in remaining
+                    }
+                    for future in as_completed(futures):
+                        index = futures[future]
+                        try:
+                            result = future.result()
+                        except JobTimeoutError as exc:
+                            retry_delays.append(
+                                note_failed_attempt(index, "timeout", exc)
+                            )
+                            next_remaining.append(index)
+                        except BrokenProcessPool:
+                            # A worker died (chaos crash, OOM kill,
+                            # segfault); the crasher is indistinguishable
+                            # from innocent jobs sharing its pool, so
+                            # bump every survivor's attempt — a chaos
+                            # crasher draws a fresh fault decision — but
+                            # charge nobody's retry budget.
+                            pool_broken = True
+                            attempts[index] += 1
+                            next_remaining.append(index)
+                        else:
+                            on_success(index, result)
+            except BrokenProcessPool:
+                # The pool died while we were still submitting; anything
+                # without a result goes around again.
+                pool_broken = True
+                next_remaining = [
+                    index for index in remaining if results[index] is None
+                ]
+            if pool_broken:
+                pool_failures += 1
+                obs.metrics.inc("runner.resilience.pool_failures")
+                print(
+                    "[resilience] worker pool broke; re-dispatching "
+                    f"{len(next_remaining)} unfinished job(s)",
+                    file=sys.stderr,
+                )
+            else:
+                pool_failures = 0
+            remaining = next_remaining
+            if retry_delays:
+                time.sleep(max(retry_delays))
+        return []
 
     if pending:
         parallel = workers > 1 and len(pending) > 1 and _fork_available()
         if parallel:
-            import multiprocessing
-
-            ctx = multiprocessing.get_context("fork")
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(pending)), mp_context=ctx
-            ) as pool:
-                futures = {
-                    index: pool.submit(
-                        _execute_job, jobs[index], collect_metrics
-                    )
-                    for index in pending
-                }
-                for index in pending:
-                    results[index] = futures[index].result()
+            leftover = run_parallel(pending)
+            if leftover:
+                run_serial(leftover, tracer=None)
         else:
-            tracer = obs.trace if obs.trace.enabled else None
-            for index in pending:
-                results[index] = _execute_job(
-                    jobs[index], collect_metrics, tracer=tracer
-                )
-        for index in pending:
-            cache.store(keys[index], results[index])
+            run_serial(pending, tracer=obs.trace if tracing else None)
 
     if collect_metrics:
         for result in results:

@@ -1,0 +1,27 @@
+# lint-as: repro/experiments/flaky_loader.py
+"""Failing fixture for REP006: silent bare/catch-all handlers."""
+
+import pickle
+
+
+def load_quietly(path):
+    try:
+        with open(path, "rb") as fh:
+            return pickle.load(fh)
+    except Exception:
+        return None  # swallowed: nothing counted, nothing logged
+
+
+def best_effort_cleanup(paths):
+    for path in paths:
+        try:
+            path.unlink()
+        except:  # noqa: E722
+            pass
+
+
+def tolerant_parse(blob):
+    try:
+        return int(blob)
+    except (ValueError, BaseException):
+        return 0

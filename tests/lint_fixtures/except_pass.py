@@ -1,0 +1,36 @@
+# lint-as: repro/experiments/flaky_loader_ok.py
+"""Passing fixture for REP006: broad handlers that detect, not swallow."""
+
+import pickle
+
+
+class _Metrics:
+    def inc(self, name, amount=1):
+        pass
+
+
+metrics = _Metrics()
+
+
+def load_counted(path):
+    try:
+        with open(path, "rb") as fh:
+            return pickle.load(fh)
+    except Exception:
+        metrics.inc("loader.corrupt")  # failure is recorded, not silent
+        return None
+
+
+def load_translated(path):
+    try:
+        with open(path, "rb") as fh:
+            return pickle.load(fh)
+    except Exception as exc:
+        raise RuntimeError(f"unreadable artifact {path}") from exc
+
+
+def narrow_is_fine(blob):
+    try:
+        return int(blob)
+    except ValueError:
+        return 0

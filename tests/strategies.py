@@ -86,6 +86,22 @@ def sparse_blocks(draw) -> bytes:
     return bytes(out)
 
 
+@st.composite
+def chaos_specs(draw) -> str:
+    """Valid ``REPRO_CHAOS`` spec strings with non-trivial fault rates.
+
+    Probabilities are drawn in percent so their reprs stay short and
+    exact; knob order is shuffled because the parser must not care.
+    """
+    crash = draw(st.integers(min_value=1, max_value=50)) / 100.0
+    hang = draw(st.integers(min_value=0, max_value=50)) / 100.0
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    parts = draw(
+        st.permutations([f"crash:{crash}", f"hang:{hang}", f"seed:{seed}"])
+    )
+    return ",".join(parts)
+
+
 #: Blocks drawn from every structured family plus pure noise.
 any_blocks = st.one_of(
     raw_blocks,

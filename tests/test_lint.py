@@ -28,6 +28,7 @@ RULE_CASES = [
     ("REP003", "bitwidth"),
     ("REP004", "obsguard"),
     ("REP005", "pickle"),
+    ("REP006", "except"),
 ]
 
 
@@ -36,8 +37,15 @@ def ids_of(findings):
 
 
 class TestRegistry:
-    def test_all_five_rules_registered(self):
-        assert {"REP001", "REP002", "REP003", "REP004", "REP005"} <= set(RULES)
+    def test_all_six_rules_registered(self):
+        assert {
+            "REP001",
+            "REP002",
+            "REP003",
+            "REP004",
+            "REP005",
+            "REP006",
+        } <= set(RULES)
 
     def test_rules_have_metadata(self):
         for rule in RULES.values():
@@ -66,6 +74,33 @@ class TestFixtures:
         messages = [f.message for f in findings if f.rule_id == "REP002"]
         assert len(messages) == 2
         assert all("stalls" in m for m in messages)
+
+    def test_except_fixture_flags_all_three_shapes(self):
+        findings = lint_file(FIXTURES / "except_fail.py")
+        messages = [f.message for f in findings if f.rule_id == "REP006"]
+        assert len(messages) == 3
+        joined = " ".join(messages)
+        assert "bare except" in joined
+        assert "except Exception" in joined
+        assert "except BaseException" in joined
+
+    def test_except_suppression_and_compliance_paths(self):
+        source = (
+            "def f(metrics):\n"
+            "    try:\n"
+            "        risky()\n"
+            "    except Exception:  # repro: noqa[REP006]\n"
+            "        pass\n"
+        )
+        assert lint_source(source, path="anywhere.py") == []
+        counted = (
+            "def f(metrics):\n"
+            "    try:\n"
+            "        risky()\n"
+            "    except Exception:\n"
+            "        metrics.inc('f.errors')\n"
+        )
+        assert lint_source(counted, path="anywhere.py") == []
 
     def test_pickle_fixture_flags_all_three_hazards(self):
         findings = lint_file(FIXTURES / "pickle_fail.py")

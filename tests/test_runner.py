@@ -112,6 +112,7 @@ class TestResultCache:
         path = cache.path_for(job.key())
         path.write_bytes(b"not a pickle")
         assert cache.load(job.key()) is None
+        assert cache.corrupt == 1
         (again,) = run_jobs([job], workers=1, cache=cache)
         assert again == first
 
@@ -145,10 +146,23 @@ class TestWorkerResolution:
         monkeypatch.setenv("REPRO_JOBS", "3")
         assert runner.resolve_workers() == 3
 
-    def test_bad_env_raises(self, monkeypatch):
+    def test_bad_env_warns_once_and_falls_back(self, monkeypatch, capsys):
         monkeypatch.setenv("REPRO_JOBS", "many")
-        with pytest.raises(ValueError, match="REPRO_JOBS"):
-            runner.resolve_workers()
+        obs = Observability.create()
+        from repro.obs import set_obs
+
+        set_obs(obs)
+        try:
+            assert runner.resolve_workers() == 1
+            assert runner.resolve_workers() == 1
+        finally:
+            set_obs(None)
+        err = capsys.readouterr().err
+        assert err.count("REPRO_JOBS") == 1  # warned exactly once
+        snapshot = obs.snapshot()
+        assert (
+            snapshot["counters"]["runner.config.invalid_env.repro_jobs"] == 2
+        )
 
     def test_configure_between_explicit_and_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "5")
