@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench results report examples lint obs-smoke par-smoke chaos-smoke clean
+.PHONY: install test bench results report examples lint obs-smoke par-smoke chaos-smoke kernels-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -80,6 +80,19 @@ chaos-smoke:
 	diff /tmp/cop-chaos-clean/fig12.json /tmp/cop-chaos-faulty/fig12.json
 	diff /tmp/cop-chaos-clean/fig12.txt /tmp/cop-chaos-faulty/fig12.txt
 	@echo "chaos-smoke: fault-injected run is byte-identical to clean serial"
+
+# Scalar/batch parity gate for the codec kernels: one compressibility
+# figure through the scalar reference path and through the vectorised
+# --batch path into separate results dirs, then byte-compare the saved
+# artifacts (see docs/kernels.md).
+kernels-smoke:
+	REPRO_RESULTS_DIR=/tmp/cop-kern-scalar PYTHONPATH=src \
+		$(PYTHON) -m repro.experiments.cli fig9 --scale smoke
+	REPRO_RESULTS_DIR=/tmp/cop-kern-batch PYTHONPATH=src \
+		$(PYTHON) -m repro.experiments.cli fig9 --scale smoke --batch
+	diff /tmp/cop-kern-scalar/fig9.json /tmp/cop-kern-batch/fig9.json
+	diff /tmp/cop-kern-scalar/fig9.txt /tmp/cop-kern-batch/fig9.txt
+	@echo "kernels-smoke: batch output is byte-identical to scalar"
 
 clean:
 	rm -rf results .pytest_cache .hypothesis

@@ -32,12 +32,15 @@ from repro.core.codec import BlockKind, COPCodec, DecodedBlock, EncodedBlock
 from repro.core.config import COPConfig
 from repro.core.controller import ProtectedMemory, ProtectionMode
 from repro.core.coper import CoperBlockFormat, ECCRegion
+from repro.kernels import BatchCodec, MemoizedCodec
 
 __version__ = "1.0.0"
 
 __all__ = [
     "COPConfig",
     "COPCodec",
+    "BatchCodec",
+    "MemoizedCodec",
     "BlockKind",
     "EncodedBlock",
     "DecodedBlock",

@@ -71,19 +71,13 @@ def codeword_counts_bulk(blocks: np.ndarray, codec: COPCodec) -> np.ndarray:
     """Valid-code-word count per block for a ``(N, 64)`` uint8 array.
 
     Equivalent to ``codec.codeword_count`` per row, but vectorised: the
-    experiment harness classifies millions of blocks.
+    experiment harness classifies millions of blocks.  Delegates to the
+    batch kernels (:class:`repro.kernels.BatchCodec`), whose scalar
+    parity the kernels test suite enforces bit-for-bit.
     """
-    if blocks.ndim != 2 or blocks.shape[1] != BLOCK_BYTES:
-        raise ValueError(f"expected shape (N, {BLOCK_BYTES}), got {blocks.shape}")
-    word_bytes = codec.config.codeword_bits // 8
-    counts = np.zeros(blocks.shape[0], dtype=np.int64)
-    for index, mask in enumerate(codec.masks):
-        segment = blocks[:, index * word_bytes : (index + 1) * word_bytes]
-        mask_bytes = np.frombuffer(
-            mask.to_bytes(word_bytes, "little"), dtype=np.uint8
-        )
-        counts += codec.code.valid_many(segment ^ mask_bytes)
-    return counts
+    from repro.kernels import BatchCodec
+
+    return BatchCodec(codec).codeword_count_many(blocks)
 
 
 @dataclass

@@ -41,12 +41,18 @@ class COPConfig:
     decompress_latency:
         Extra memory-read latency in CPU cycles charged by the performance
         model ("an additional decode/decompress latency of 4 cycles").
+    use_batch:
+        Route the controller's codec through the content-keyed memo cache
+        of :mod:`repro.kernels` (and let harnesses pick batch kernels).
+        Purely a software-model acceleration: results are bit-for-bit
+        identical to the scalar reference codec (see docs/kernels.md).
     """
 
     ecc_bytes: int = 4
     codeword_threshold: int = 3
     hash_seed: int = DEFAULT_HASH_SEED
     decompress_latency: int = 4
+    use_batch: bool = False
 
     def __post_init__(self) -> None:
         if BLOCK_BITS % max(self.ecc_bytes, 1) or self.ecc_bytes < 1:

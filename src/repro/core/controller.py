@@ -157,6 +157,15 @@ class ProtectedMemory:
             ProtectionMode.MEMZIP,
         ):
             self.codec = COPCodec(self.config)
+            if self.config.use_batch:
+                # Content-keyed memo cache in front of the scalar codec —
+                # bit-for-bit identical results, hit/miss counters under
+                # kernels.memo.* (see docs/kernels.md).
+                from repro.kernels import MemoizedCodec
+
+                self.codec = MemoizedCodec(  # type: ignore[assignment]
+                    self.codec, metrics=self.obs.metrics
+                )
         #: MemZip's explicit compression-tracking metadata (per block).
         self._memzip_compressed: set[int] = set()
         from repro.memory.address import AddressMapper

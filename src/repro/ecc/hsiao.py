@@ -117,9 +117,25 @@ class HsiaoCode:
         self._enc_tables = self._build_tables(first=0, limit=k)
         self._syn_tables = self._build_tables(first=0, limit=n)
         self._np_syn_tables: Optional[np.ndarray] = None
+        self._np_enc_tables: Optional[np.ndarray] = None
+        self._np_corr_table: Optional[np.ndarray] = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"HsiaoCode(n={self.n}, k={self.k})"
+
+    def __getstate__(self) -> dict:
+        """Pickled state excludes the lazily built numpy LUTs.
+
+        Codes ride into fork-pool workers inside codec closures; the numpy
+        tables are derived state, so shipping them would only bloat the
+        pickle (and re-share fork-inherited arrays across processes).
+        Workers rebuild them on first batch call.
+        """
+        state = self.__dict__.copy()
+        state["_np_syn_tables"] = None
+        state["_np_enc_tables"] = None
+        state["_np_corr_table"] = None
+        return state
 
     # -- construction helpers ------------------------------------------------
 
@@ -225,3 +241,81 @@ class HsiaoCode:
     def valid_many(self, words: np.ndarray) -> np.ndarray:
         """Boolean validity (zero syndrome) for a batch of words."""
         return self.syndrome_many(words) == 0
+
+    @property
+    def data_bytes(self) -> int:
+        """Bytes holding the data field; requires a byte-aligned ``k``."""
+        if self.k % 8:
+            raise ValueError(f"k={self.k} is not byte aligned")
+        return self.k // 8
+
+    def _np_tables_enc(self) -> np.ndarray:
+        if self._np_enc_tables is None:
+            arr = np.zeros((len(self._enc_tables), 256), dtype=np.uint32)
+            for j, table in enumerate(self._enc_tables):
+                arr[j, :] = table
+            self._np_enc_tables = arr
+        return self._np_enc_tables
+
+    def encode_many(self, data: np.ndarray) -> np.ndarray:
+        """Encode a batch of data rows into codeword rows.
+
+        ``data`` is a ``(N, k // 8)`` uint8 array of little-endian data
+        fields (requires a byte-aligned ``k``, which every COP geometry
+        has).  Returns ``(N, codeword_bytes)`` uint8 little-endian
+        codewords, bit-for-bit equal to :meth:`encode` per row.
+        """
+        nbytes = self.data_bytes
+        if data.ndim != 2 or data.shape[1] != nbytes:
+            raise ValueError(f"expected shape (N, {nbytes}), got {data.shape}")
+        tables = self._np_tables_enc()
+        check = np.zeros(data.shape[0], dtype=np.uint32)
+        for j in range(nbytes):
+            check ^= tables[j, data[:, j]]
+        out = np.zeros((data.shape[0], self.codeword_bytes), dtype=np.uint8)
+        out[:, :nbytes] = data
+        for b in range(self.codeword_bytes - nbytes):
+            out[:, nbytes + b] = (check >> (8 * b)) & 0xFF
+        return out
+
+    def correction_table(self) -> np.ndarray:
+        """Syndrome -> errored bit position LUT for batch correction.
+
+        A ``(2**r,)`` int32 array mapping every syndrome to the single-bit
+        position it corrects, or ``-1`` when the syndrome is no column of
+        ``H`` (detected-uncorrectable).  Index 0 (the clean syndrome) also
+        maps to ``-1``; callers distinguish clean via the syndrome itself.
+        """
+        if self._np_corr_table is None:
+            if self.r > 24:
+                raise ValueError(
+                    f"correction table over 2**{self.r} syndromes is too large"
+                )
+            table = np.full(1 << self.r, -1, dtype=np.int32)
+            for col, pos in self._column_to_pos.items():
+                table[col] = pos
+            self._np_corr_table = table
+        return self._np_corr_table
+
+    def correct_many(
+        self, words: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batch classify-and-correct: the vector form of :meth:`decode`.
+
+        ``words`` is ``(N, codeword_bytes)`` uint8.  Returns
+        ``(corrected, clean, detected)`` where ``corrected`` is a *copy*
+        of ``words`` with every correctable single-bit error flipped,
+        ``clean`` is the zero-syndrome mask and ``detected`` marks
+        uncorrectable words (left unmodified, like scalar ``decode``).
+        """
+        syndromes = self.syndrome_many(words)
+        positions = self.correction_table()[syndromes]
+        clean = syndromes == 0
+        correctable = ~clean & (positions >= 0)
+        detected = ~clean & (positions < 0)
+        corrected = words.copy()
+        rows = np.nonzero(correctable)[0]
+        if rows.size:
+            pos = positions[rows]
+            corrected[rows, pos >> 3] ^= (1 << (pos & 7)).astype(np.uint8)
+        return corrected, clean, detected

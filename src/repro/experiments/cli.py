@@ -107,11 +107,12 @@ def _run_obs_command(args) -> int:
     return status
 
 
-def _call_experiment(fn, scale, workers=None, use_cache=None):
+def _call_experiment(fn, scale, workers=None, use_cache=None, use_batch=None):
     """Invoke a harness, forwarding runner options only where supported.
 
     The simulation-matrix harnesses (Figs. 10-12, sweeps, mixes) accept
     ``workers``/``use_cache``; the cheap analytic ones take just a scale.
+    ``use_batch`` reaches the harnesses wired through repro.kernels.
     """
     import inspect
 
@@ -121,6 +122,8 @@ def _call_experiment(fn, scale, workers=None, use_cache=None):
         kwargs["workers"] = workers
     if "use_cache" in params:
         kwargs["use_cache"] = use_cache
+    if use_batch is not None and "use_batch" in params:
+        kwargs["use_batch"] = use_batch
     return fn(scale, **kwargs)
 
 
@@ -186,6 +189,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="abort the sweep on the first worker fault instead of "
         "retrying",
+    )
+    parser.add_argument(
+        "--batch",
+        action="store_true",
+        help="route block scans through the vectorised repro.kernels "
+        "batch codec where the harness supports it; outputs are "
+        "bit-identical to the scalar path (see docs/kernels.md)",
     )
     parser.add_argument(
         "--chart",
@@ -287,7 +297,11 @@ def main(argv: list[str] | None = None) -> int:
     use_cache = False if args.no_cache else None
     for name in names:
         table = _call_experiment(
-            EXPERIMENTS[name], scale, workers=args.jobs, use_cache=use_cache
+            EXPERIMENTS[name],
+            scale,
+            workers=args.jobs,
+            use_cache=use_cache,
+            use_batch=True if args.batch else None,
         )
         if obs is not None:
             table.metrics = obs.snapshot()

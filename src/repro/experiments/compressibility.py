@@ -5,9 +5,17 @@ fraction of accessed blocks each scheme can compress within the payload
 budget of the chosen ECC target.  Figure 8 frees 8 bytes per block
 (MSB, RLE, FPC, MSB+RLE); Figure 9 frees 4 (TXT, MSB, RLE, FPC,
 TXT+MSB+RLE — the paper's 94 %-average hybrid).
+
+``use_batch`` routes the per-block probes through the deduplicating
+helpers of :mod:`repro.kernels` — each distinct block content is probed
+once and weighted by its multiplicity, which is exact (integer sums), so
+the tables come out byte-identical either way (``make kernels-smoke``
+enforces this).
 """
 
 from __future__ import annotations
+
+from typing import Callable, Sequence
 
 from repro.compression.base import SCHEME_TAG_BITS, payload_budget
 from repro.compression.combined import cop_combined_compressor, cop_scheme_suite
@@ -15,10 +23,26 @@ from repro.compression.fpc import FPCCompressor
 from repro.experiments.common import ExperimentTable, Scale, sample_blocks
 from repro.workloads.profiles import MEMORY_INTENSIVE, PROFILES
 
-__all__ = ["run", "suite_average_rows"]
+__all__ = ["run", "compressible_fraction"]
 
 
-def run(ecc_bytes: int, scale: Scale = Scale.SMALL) -> ExperimentTable:
+def compressible_fraction(
+    blocks: Sequence[bytes],
+    predicate: Callable[[bytes], bool],
+    use_batch: bool,
+) -> float:
+    """Fraction of blocks satisfying ``predicate``; optionally deduplicated."""
+    if use_batch:
+        from repro.kernels import dedup_fraction
+        from repro.obs import get_obs
+
+        return dedup_fraction(blocks, predicate, metrics=get_obs().metrics)
+    return sum(1 for b in blocks if predicate(b)) / len(blocks)
+
+
+def run(
+    ecc_bytes: int, scale: Scale = Scale.SMALL, use_batch: bool = False
+) -> ExperimentTable:
     samples = scale.pick(smoke=150, small=1500, full=15000)
     budget = payload_budget(ecc_bytes)
     suite = cop_scheme_suite(ecc_bytes)
@@ -37,19 +61,22 @@ def run(ecc_bytes: int, scale: Scale = Scale.SMALL) -> ExperimentTable:
     for name in MEMORY_INTENSIVE:
         blocks = sample_blocks(name, samples)
         row = [
-            sum(1 for b in blocks if s.compressible(b, budget)) / len(blocks)
+            compressible_fraction(
+                blocks, lambda b, s=s: s.compressible(b, budget), use_batch
+            )
             for s in suite.values()
         ]
         row.append(
-            sum(1 for b in blocks if fpc.compressible(b, budget)) / len(blocks)
+            compressible_fraction(
+                blocks, lambda b: fpc.compressible(b, budget), use_batch
+            )
         )
         row.append(
-            sum(
-                1
-                for b in blocks
-                if combined.compressible(b, budget + SCHEME_TAG_BITS)
+            compressible_fraction(
+                blocks,
+                lambda b: combined.compressible(b, budget + SCHEME_TAG_BITS),
+                use_batch,
             )
-            / len(blocks)
         )
         table.add(name, row)
         per_suite.setdefault(PROFILES[name].suite, []).append(tuple(row))

@@ -11,13 +11,14 @@ from __future__ import annotations
 from repro.compression.base import payload_budget
 from repro.compression.msb import MSBCompressor
 from repro.experiments.common import ExperimentTable, Scale, sample_blocks
+from repro.experiments.compressibility import compressible_fraction
 
 from repro.workloads.profiles import FIG4_BENCHMARKS
 
 __all__ = ["run", "main"]
 
 
-def run(scale: Scale = Scale.SMALL) -> ExperimentTable:
+def run(scale: Scale = Scale.SMALL, use_batch: bool = False) -> ExperimentTable:
     samples = scale.pick(smoke=150, small=1500, full=15000)
     budget = payload_budget(4)
     unshifted = MSBCompressor(compare_bits=5, shifted=False)
@@ -31,10 +32,16 @@ def run(scale: Scale = Scale.SMALL) -> ExperimentTable:
         table.add(
             name,
             (
-                sum(1 for b in blocks if unshifted.compressible(b, budget))
-                / len(blocks),
-                sum(1 for b in blocks if shifted.compressible(b, budget))
-                / len(blocks),
+                compressible_fraction(
+                    blocks,
+                    lambda b: unshifted.compressible(b, budget),
+                    use_batch,
+                ),
+                compressible_fraction(
+                    blocks,
+                    lambda b: shifted.compressible(b, budget),
+                    use_batch,
+                ),
             ),
         )
     averages = [

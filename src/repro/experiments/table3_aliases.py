@@ -23,7 +23,7 @@ __all__ = ["run", "main"]
 _MEMORY_BYTES = 8 << 30
 
 
-def run(scale: Scale = Scale.SMALL) -> ExperimentTable:
+def run(scale: Scale = Scale.SMALL, use_batch: bool = True) -> ExperimentTable:
     samples = scale.pick(smoke=400, small=4000, full=40000)
     codec = COPCodec()
     budget = payload_budget(4) + SCHEME_TAG_BITS
@@ -34,11 +34,15 @@ def run(scale: Scale = Scale.SMALL) -> ExperimentTable:
             for block in sample_blocks(name, samples)
             if not codec.compressor.compressible(block, budget)
         ]
-        if incompressible:
+        if not incompressible:
+            continue
+        if use_batch:
             arr = np.frombuffer(
                 b"".join(incompressible), dtype=np.uint8
             ).reshape(-1, 64)
             census.add_array(arr)
+        else:
+            census.add(incompressible)
 
     table = ExperimentTable(
         title="Table 3: code words in incompressible data blocks",

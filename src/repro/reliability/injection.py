@@ -5,16 +5,25 @@ configuration survives; the injector demonstrates it mechanically: flip
 real bits in the stored images behind a :class:`ProtectedMemory`, read the
 blocks back, and compare against golden copies.  Outcomes:
 
+* ``detected`` — the controller flagged the read uncorrectable: a
+  machine-check, not silent corruption.  This is checked *first*: a
+  detected word is never consumed, so the outcome is "detected" even if
+  the returned bytes happen to coincide with golden (e.g. both flips of
+  a 2-bit error landing in one word's check byte);
 * ``corrected`` — data matches golden and the controller reported a
   correction (or the flip landed in dead padding/check bits);
-* ``detected`` — data differs but the controller flagged it
-  (detected-uncorrectable: a machine-check, not silent corruption);
 * ``silent`` — data differs with no flag (the soft-error failures that
   Fig. 10 counts);
 * ``masked`` — data matches golden without any correction reported
   (e.g. a flip in an unprotected block's bit that the application value
   happens to tolerate never occurs here since we compare exact bytes, but
   flips into a compressed block's *padding* bits are genuinely masked).
+
+``run_campaign`` walks trials one read at a time through the controller;
+``run_campaign_batch`` pre-draws the identical RNG sequence and classifies
+every flipped image in one :class:`repro.kernels.BatchCodec` decode —
+same outcomes, same stats, vectorised (the parity test in
+``tests/test_reliability.py`` holds them equal).
 """
 
 from __future__ import annotations
@@ -23,7 +32,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.compression.base import BLOCK_BYTES
-from repro.core.controller import ProtectedMemory
+from repro.core.controller import ProtectedMemory, ProtectionMode
 
 __all__ = ["InjectionStats", "FaultInjector"]
 
@@ -82,10 +91,13 @@ class FaultInjector:
         for bit in positions:
             self.memory.flip_bit(addr, bit)
         result = self.memory.read(addr)
-        if result.data == self.golden[addr]:
-            outcome = "corrected" if result.corrected else "masked"
-        elif result.uncorrectable:
+        # Uncorrectable wins: a detected word raises a machine check, so
+        # the data bytes are never consumed — even when the garbage that
+        # came back happens to equal golden (2 flips in one check byte).
+        if result.uncorrectable:
             outcome = "detected"
+        elif result.data == self.golden[addr]:
+            outcome = "corrected" if result.corrected else "masked"
         else:
             outcome = "silent"
         self.stats.record(flips, outcome)
@@ -97,4 +109,53 @@ class FaultInjector:
         """Run ``trials`` independent injections of ``flips`` bits each."""
         for _ in range(trials):
             self.run_trial(flips)
+        return self.stats
+
+    def run_campaign_batch(self, trials: int, flips: int = 1) -> InjectionStats:
+        """Vectorised ``run_campaign`` for the plain-COP read path.
+
+        Draws the exact RNG sequence ``run_campaign`` would (address,
+        then flip positions, per trial), builds the flipped stored
+        images, decodes them all in one :class:`repro.kernels.BatchCodec`
+        pass and applies the same classification and controller
+        bookkeeping — outcome counts and controller stats land identical
+        to the scalar loop.
+        """
+        if self.memory.mode is not ProtectionMode.COP:
+            raise ValueError(
+                "run_campaign_batch models the plain-COP read path; "
+                f"memory is in mode {self.memory.mode.value!r}"
+            )
+        from repro.kernels import BatchCodec, blocks_to_array
+
+        addrs: list[int] = []
+        images: list[bytes] = []
+        for _ in range(trials):
+            addr = self.rng.choice(list(self.golden))
+            image = bytearray(self.memory.contents[addr])
+            for bit in self.rng.sample(range(8 * BLOCK_BYTES), flips):
+                image[bit // 8] ^= 1 << (bit % 8)
+            addrs.append(addr)
+            images.append(bytes(image))
+
+        assert self.memory.codec is not None
+        decoded = BatchCodec(self.memory.codec).decode_many(
+            blocks_to_array(images)
+        )
+        for addr, result in zip(addrs, decoded):
+            # Mirror ProtectedMemory.read's COP-mode stat bookkeeping.
+            self.memory.stats.reads += 1
+            corrected = uncorrectable = False
+            if result.is_compressed:
+                self.memory.stats.compressed_reads += 1
+                corrected = result.corrected_words > 0
+                uncorrectable = result.uncorrectable
+                self.memory._count_read(corrected, uncorrectable, addr)
+            if uncorrectable:
+                outcome = "detected"
+            elif result.data == self.golden[addr]:
+                outcome = "corrected" if corrected else "masked"
+            else:
+                outcome = "silent"
+            self.stats.record(flips, outcome)
         return self.stats

@@ -23,3 +23,22 @@ class SimJob:
 class SimResult:
     memory: MemorySummary
     metrics: dict = field(default_factory=dict)
+
+
+@dataclass
+class CoreResult:
+    """Reached from SimResult in the real closure; carries derived state.
+
+    The lazy-LUT pattern (HsiaoCode's numpy tables): derived caches are
+    dropped in ``__getstate__`` and rebuilt on first use worker-side,
+    which REP005 accepts — only lambdas, handles and locals-defined
+    classes are pickling hazards.
+    """
+
+    cycles: int = 0
+    syndrome_cache: dict = field(default_factory=dict)
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["syndrome_cache"] = {}
+        return state

@@ -102,6 +102,45 @@ def chaos_specs(draw) -> str:
     return ",".join(parts)
 
 
+@st.composite
+def alias_boundary_blocks(draw, config=None, at_threshold=None) -> bytes:
+    """Raw blocks sitting exactly at the alias decision boundary.
+
+    Constructs a 64-byte block whose hash-removed code words contain
+    exactly ``threshold`` valid words (an alias — the decoder will
+    wrongly classify it compressed) or exactly ``threshold - 1`` (the
+    nearest non-alias) — the adversarial inputs for classification
+    parity.  Valid slots carry ``code.encode(data) ^ mask``; invalid
+    slots carry noise, bit-flipped if it lands on a codeword by chance.
+
+    ``at_threshold``: True forces aliases, False near-misses, None draws.
+    """
+    from repro._bits import int_to_bytes
+    from repro.core.codec import COPCodec
+
+    codec = COPCodec(config)
+    cfg = codec.config
+    alias = draw(st.booleans()) if at_threshold is None else at_threshold
+    valid_count = cfg.codeword_threshold - (0 if alias else 1)
+    slots = draw(st.permutations(range(cfg.num_codewords)))
+    valid_slots = set(slots[:valid_count])
+    out = bytearray()
+    for slot in range(cfg.num_codewords):
+        mask = codec.masks[slot]
+        if slot in valid_slots:
+            data = draw(
+                st.integers(0, (1 << cfg.codeword_data_bits) - 1)
+            )
+            word = codec.code.encode(data) ^ mask
+        else:
+            word = draw(st.integers(0, (1 << cfg.codeword_bits) - 1))
+            if codec.code.syndrome(word ^ mask) == 0:
+                # One flip off any codeword is never a codeword.
+                word ^= 1 << draw(st.integers(0, cfg.codeword_bits - 1))
+        out += int_to_bytes(word, cfg.codeword_bits // 8)
+    return bytes(out)
+
+
 #: Blocks drawn from every structured family plus pure noise.
 any_blocks = st.one_of(
     raw_blocks,

@@ -161,3 +161,67 @@ class TestFaultInjector:
         memory, _ = self._memory(ProtectionMode.COP, blocks=10)
         with pytest.raises(ValueError):
             FaultInjector(memory, {0: b"short"})
+
+    def test_double_error_in_one_word_is_detected_not_silent(self):
+        """Regression: a 2-bit error confined to one code word of a
+        compressed block must surface as detected-uncorrectable and
+        reach the controller's reliability stats."""
+        memory = ProtectedMemory(ProtectionMode.COP)
+        data = bytes(64)  # all-zero block compresses under every scheme
+        assert memory.write(0, data).compressed
+        memory.flip_bit(0, 0)
+        memory.flip_bit(0, 1)  # both flips land in word 0's data bits
+        result = memory.read(0)
+        assert result.uncorrectable
+        assert memory.stats.uncorrectable_blocks == 1
+
+    def test_detected_outcome_wins_over_matching_bytes(self):
+        """Regression for the classification order: two flips in one
+        word's *check* byte corrupt no data bits, so the readback equals
+        golden — but the word is detected-uncorrectable, which raises a
+        machine check.  The trial must count as detected, not masked."""
+        memory = ProtectedMemory(ProtectionMode.COP)
+        data = bytes(64)
+        assert memory.write(0, data).compressed
+        injector = FaultInjector(memory, {0: data}, seed=0)
+
+        class _Fixed:
+            def choice(self, seq):
+                return 0
+
+            def sample(self, population, k):
+                # Word 0's check byte: stored bits 120..127.
+                return [120, 121]
+
+        injector.rng = _Fixed()
+        outcome = injector.run_trial(flips=2)
+        read_back = memory.read(0)
+        assert read_back.data == data  # bytes match golden...
+        assert outcome == "detected"  # ...yet the trial is a machine check
+        assert injector.stats.detected == 1
+        assert injector.stats.masked == 0
+
+    def test_batch_campaign_matches_scalar(self):
+        """run_campaign_batch replays the identical RNG sequence and must
+        reproduce the scalar loop's outcomes and controller stats."""
+        for flips in (1, 2):
+            scalar_mem, golden = self._memory(ProtectionMode.COP, blocks=80)
+            scalar = FaultInjector(scalar_mem, golden, seed=11)
+            scalar.run_campaign(200, flips=flips)
+
+            batch_mem, golden_b = self._memory(ProtectionMode.COP, blocks=80)
+            assert golden_b == golden
+            batch = FaultInjector(batch_mem, golden_b, seed=11)
+            batch.run_campaign_batch(200, flips=flips)
+
+            assert (
+                batch.stats.outcomes_by_flips == scalar.stats.outcomes_by_flips
+            )
+            assert batch_mem.stats.as_dict() == scalar_mem.stats.as_dict()
+            # Batch classification never mutates the stored images.
+            assert batch_mem.contents == scalar_mem.contents
+
+    def test_batch_campaign_requires_cop_mode(self):
+        memory, golden = self._memory(ProtectionMode.UNPROTECTED, blocks=10)
+        with pytest.raises(ValueError):
+            FaultInjector(memory, golden).run_campaign_batch(5)
