@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench results report examples lint obs-smoke par-smoke chaos-smoke kernels-smoke clean
+.PHONY: install test bench results report examples lint obs-smoke par-smoke chaos-smoke kernels-smoke bench-trajectory trace-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -93,6 +93,38 @@ kernels-smoke:
 	diff /tmp/cop-kern-scalar/fig9.json /tmp/cop-kern-batch/fig9.json
 	diff /tmp/cop-kern-scalar/fig9.txt /tmp/cop-kern-batch/fig9.txt
 	@echo "kernels-smoke: batch output is byte-identical to scalar"
+
+# Performance-trajectory smoke: run the fast bench suites twice into a
+# fresh results dir — the first run seeds results/trajectory.jsonl, the
+# second diffs against it and exercises the regression gate (generous
+# threshold: CI machines are noisy; the gate *mechanism* is what this
+# target smokes — tighter gates belong on dedicated perf hardware).
+# Artifacts land in /tmp/cop-bench-results/BENCH_<suite>.json
+# (see docs/perf-trajectory.md).
+bench-trajectory:
+	rm -rf /tmp/cop-bench-results
+	REPRO_RESULTS_DIR=/tmp/cop-bench-results PYTHONPATH=src \
+		$(PYTHON) -m repro.experiments.cli bench --scale smoke \
+		--suite kernels --suite runner
+	REPRO_RESULTS_DIR=/tmp/cop-bench-results PYTHONPATH=src \
+		$(PYTHON) -m repro.experiments.cli bench --scale smoke \
+		--suite kernels --suite runner --compare --gate 200
+	@test -s /tmp/cop-bench-results/BENCH_kernels.json
+	@test -s /tmp/cop-bench-results/BENCH_runner.json
+	@echo "bench-trajectory: artifacts written, compare + gate exercised"
+
+# Cross-worker tracing gate: the same traced figure serially and with
+# --jobs 4; the merged shard stream must be byte-identical to the
+# serial trace (see docs/perf-trajectory.md and docs/parallel-runs.md).
+trace-smoke:
+	REPRO_RESULTS_DIR=/tmp/cop-trace-serial PYTHONPATH=src \
+		$(PYTHON) -m repro.experiments.cli fig12 --scale smoke \
+		--trace /tmp/cop-trace-serial.jsonl
+	REPRO_RESULTS_DIR=/tmp/cop-trace-parallel PYTHONPATH=src \
+		$(PYTHON) -m repro.experiments.cli fig12 --scale smoke \
+		--trace /tmp/cop-trace-parallel.jsonl --jobs 4
+	cmp /tmp/cop-trace-serial.jsonl /tmp/cop-trace-parallel.jsonl
+	@echo "trace-smoke: parallel merged trace is byte-identical to serial"
 
 clean:
 	rm -rf results .pytest_cache .hypothesis

@@ -10,6 +10,7 @@ import random
 
 import pytest
 
+from repro.bench import perf_case
 from repro.compression import (
     FPCCompressor,
     MSBCompressor,
@@ -20,10 +21,69 @@ from repro.compression import (
 )
 from repro.core.codec import COPCodec
 from repro.ecc.codes import code_128_120
+from repro.obs.perf import best_seconds
 from repro.workloads.profiles import PROFILES
 from repro.experiments.common import sample_blocks
 
 _BUDGET = payload_budget(4)
+
+
+def _profile_blocks(count=256, seed=3):
+    return sample_blocks(PROFILES["gcc"], count, seed=seed)
+
+
+def _codewords(count=512, seed=1):
+    code = code_128_120()
+    rng = random.Random(seed)
+    return code, [code.encode(rng.getrandbits(120)) for _ in range(count)]
+
+
+# -- trajectory cases (run by `cop-experiments bench --suite kernels`) --------
+
+
+@perf_case(suite="kernels")
+def syndrome_scan_scalar():
+    code, words = _codewords()
+    return lambda: [code.syndrome(w) for w in words]
+
+
+@perf_case(suite="kernels", inner=8)
+def syndrome_scan_batch():
+    import numpy as np
+
+    code, words = _codewords()
+    arr = np.frombuffer(
+        b"".join(w.to_bytes(16, "little") for w in words), dtype=np.uint8
+    ).reshape(512, 16)
+    code.syndrome_many(arr)  # build the numpy LUTs outside the timing
+    return lambda: code.syndrome_many(arr)
+
+
+@perf_case(suite="kernels")
+def cop_encode():
+    blocks = _profile_blocks()
+    codec = COPCodec()
+    return lambda: [codec.encode(b) for b in blocks]
+
+
+@perf_case(suite="kernels")
+def cop_decode():
+    blocks = _profile_blocks()
+    codec = COPCodec()
+    stored = [codec.encode(b).stored for b in blocks]
+    return lambda: [codec.decode(s) for s in stored]
+
+
+@perf_case(suite="kernels", inner=4)
+def batch_decode():
+    from repro.kernels import BatchCodec, blocks_to_array
+
+    blocks = _profile_blocks()
+    codec = COPCodec()
+    batch = BatchCodec(codec)
+    stored = blocks_to_array([codec.encode(b).stored for b in blocks])
+    batch.decode_many(stored)
+    return lambda: batch.decode_many(stored)
 
 
 @pytest.fixture(scope="module")
@@ -118,19 +178,6 @@ def test_batch_encode_throughput(benchmark, blocks):
     benchmark(lambda: batch.encode_many(arr))
 
 
-def _best_seconds(fn, rounds=7, reps=4):
-    import time
-
-    best = None
-    for _ in range(rounds):
-        start = time.perf_counter()
-        for _ in range(reps):
-            fn()
-        elapsed = (time.perf_counter() - start) / reps
-        best = elapsed if best is None else min(best, elapsed)
-    return best
-
-
 def test_syndrome_scan_speedup_guard():
     """Acceptance gate: the vectorised 512-word syndrome scan must beat
     the scalar loop by at least 5x (measured ~17x; the assert leaves
@@ -145,8 +192,8 @@ def test_syndrome_scan_speedup_guard():
     ).reshape(512, 16)
     code.syndrome_many(arr)  # warm the numpy LUTs
 
-    scalar = _best_seconds(lambda: [code.syndrome(w) for w in words])
-    batch = _best_seconds(lambda: code.syndrome_many(arr), reps=20)
+    scalar = best_seconds(lambda: [code.syndrome(w) for w in words])
+    batch = best_seconds(lambda: code.syndrome_many(arr), reps=20)
     speedup = scalar / batch
     print(
         f"\n512-word syndrome scan: scalar {1e6 * scalar:.0f} us, "

@@ -8,22 +8,29 @@ than that today — the bound is a regression tripwire, not a target).
 
 from __future__ import annotations
 
-import time
 from pathlib import Path
 
 from repro.analysis import iter_python_files, lint_paths
+from repro.bench import perf_case
+from repro.obs.perf import measure
 
 _SRC = Path(__file__).parent.parent / "src" / "repro"
 _BUDGET_SECONDS = 5.0
+
+
+@perf_case(suite="lint", repeats=3, warmup=1)
+def lint_full_repo():
+    return lambda: lint_paths([_SRC])
 
 
 def test_lint_walltime_under_budget():
     files = iter_python_files([_SRC])
     assert len(files) > 50, "expected the full package under src/repro"
 
-    start = time.perf_counter()
+    # The correctness run doubles as the warmup (parser caches, imports).
     findings = lint_paths([_SRC])
-    elapsed = time.perf_counter() - start
+    stats = measure(lambda: lint_paths([_SRC]), repeats=2, warmup=0)
+    elapsed = stats.min_ns / 1e9
 
     print(
         f"\nlinted {len(files)} files in {elapsed:.3f}s "
@@ -39,8 +46,7 @@ def test_lint_walltime_under_budget():
 def test_lint_single_file_is_interactive_fast():
     """Editor-integration latency: one hot file well under 100 ms."""
     target = _SRC / "experiments" / "runner.py"
-    start = time.perf_counter()
-    lint_paths([target])
-    elapsed = time.perf_counter() - start
+    stats = measure(lambda: lint_paths([target]), repeats=3, warmup=1)
+    elapsed = stats.min_ns / 1e9
     print(f"\nlinted {target.name} in {elapsed * 1e3:.1f} ms")
     assert elapsed < 1.0

@@ -13,14 +13,13 @@ sampled tracing, and full metrics + full tracing — and asserts:
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from repro.core.controller import ProtectionMode
 from repro.experiments.common import Scale
 from repro.experiments.simruns import run_benchmark
 from repro.obs import NULL_OBS, Observability
+from repro.obs.perf import measure, now_ns
 
 _BENCH = "lbm"
 _MODE = ProtectionMode.COP
@@ -29,15 +28,20 @@ _CORES = 2
 
 
 def _timed_run(obs):
-    start = time.perf_counter()
+    start = now_ns()
     outcome = run_benchmark(
         _BENCH, _MODE, _SCALE, cores=_CORES, track=False, obs=obs
     )
-    elapsed = time.perf_counter() - start
+    elapsed = (now_ns() - start) / 1e9
     return elapsed, outcome
 
 
-def _best_of(runs, make_obs):
+def _best_of(runs, make_obs, warmup=1):
+    """Best-of-``runs`` seconds (explicit warmup; fresh obs per run)."""
+    for _ in range(warmup):
+        obs = make_obs()
+        _timed_run(obs)
+        obs.close()
     best = None
     outcome = None
     for _ in range(runs):
@@ -70,12 +74,14 @@ def test_noop_guard_under_5_percent():
     # writeback, plus the no-op method-call surface behind it.  Time that
     # guard directly at call volume.
     obs = NULL_OBS
-    rounds = 200_000
-    start = time.perf_counter()
-    for _ in range(rounds):
+
+    def check_guard():
         if obs.enabled:
             raise AssertionError("NULL_OBS must be disabled")
-    guard_ns = (time.perf_counter() - start) / rounds * 1e9
+
+    guard_ns = float(
+        measure(check_guard, repeats=1, warmup=1000, inner=200_000).min_ns
+    )
 
     # Two guard evaluations per miss (miss + potential writeback), with
     # slack for attribute-access jitter.

@@ -17,14 +17,13 @@ the whole layer.
 
 from __future__ import annotations
 
-import time
-
 from repro.core.controller import ProtectionMode
 from repro.experiments import resilience
 from repro.experiments.common import Scale
 from repro.experiments.resilience import ResilienceConfig
 from repro.experiments.runner import ResultCache, SimJob, run_jobs
 from repro.experiments.simruns import run_benchmark
+from repro.obs.perf import best_seconds, measure, now_ns
 
 _BENCH = "lbm"
 _MODE = ProtectionMode.COP
@@ -43,20 +42,19 @@ def _job() -> SimJob:
 
 
 def _sim_seconds() -> float:
-    best = None
-    for _ in range(3):
-        start = time.perf_counter()
-        run_benchmark(_BENCH, _MODE, _SCALE, cores=_CORES, track=False)
-        elapsed = time.perf_counter() - start
-        best = elapsed if best is None else min(best, elapsed)
-    return best
+    return best_seconds(
+        lambda: run_benchmark(
+            _BENCH, _MODE, _SCALE, cores=_CORES, track=False
+        ),
+        rounds=3,
+        reps=1,
+        warmup=1,
+    )
 
 
 def _per_call(fn, rounds: int) -> float:
-    start = time.perf_counter()
-    for _ in range(rounds):
-        fn()
-    return (time.perf_counter() - start) / rounds
+    stats = measure(fn, repeats=1, warmup=max(1, rounds // 100), inner=rounds)
+    return stats.min_ns / 1e9
 
 
 def test_guard_overhead_under_5_percent():
@@ -125,15 +123,16 @@ def test_no_fault_sweep_wall_clock_stable(tmp_path):
     guarded_cfg = ResilienceConfig(timeout=120.0, retries=3)
 
     def run_once(cfg, root):
-        start = time.perf_counter()
+        start = now_ns()
         run_jobs(
             jobs,
             workers=1,
             cache=ResultCache(root=root, enabled=False),
             resilience_config=cfg,
         )
-        return time.perf_counter() - start
+        return (now_ns() - start) / 1e9
 
+    run_once(ResilienceConfig(), tmp_path / "warm")  # warmup, untimed
     plain = min(
         run_once(ResilienceConfig(), tmp_path / "a") for _ in range(2)
     )

@@ -16,6 +16,7 @@ import os
 
 import pytest
 
+from repro.bench import perf_case
 from repro.core.controller import ProtectionMode
 from repro.experiments.common import Scale
 from repro.experiments.runner import SimJob, run_jobs
@@ -33,6 +34,23 @@ _JOBS = [
 ]
 
 _HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+# -- trajectory cases (run by `cop-experiments bench --suite runner`) ---------
+
+
+@perf_case(suite="runner", repeats=3, warmup=1)
+def run_jobs_serial_smoke():
+    """One uncached SMOKE simulation through the full runner stack."""
+    jobs = _JOBS[:1]
+    return lambda: run_jobs(jobs, workers=1, use_cache=False)
+
+
+@perf_case(suite="runner", inner=200)
+def job_cache_key():
+    """Spec hashing cost — paid once per job on every sweep."""
+    job = _JOBS[0]
+    return lambda: job.key()
 
 
 @pytest.mark.parametrize("workers", [1, 2, 4])

@@ -6,6 +6,12 @@ round — these are reproductions, not microbenchmarks), its table is
 printed and saved under ``results/``, and its headline shape is asserted.
 Scale defaults keep the suite minutes-fast; set ``REPRO_SCALE=full`` for
 paper-fidelity sample sizes.
+
+Timing in this directory goes through :mod:`repro.obs.perf` (monotonic
+``time.perf_counter_ns``, explicit warmup) — the same protocol the
+``BENCH_*.json`` trajectory artifacts use — so guard assertions and
+artifacts never disagree about methodology.  The helpers are re-exported
+here for bench files that want one import point.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments.common import Scale
+from repro.obs.perf import best_seconds, measure, now_ns  # noqa: F401  (re-export)
 
 
 def run_experiment(benchmark, run, scale: Scale, save_as: str):

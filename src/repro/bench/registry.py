@@ -1,0 +1,94 @@
+"""Case registry for the benchmark harness.
+
+A bench file declares a case by decorating a zero-argument *builder*:
+
+.. code-block:: python
+
+    from repro.bench import perf_case
+
+    @perf_case(suite="kernels")
+    def syndrome_scan_scalar():
+        code = code_128_120()                      # setup: not timed
+        words = [...]
+        return lambda: [code.syndrome(w) for w in words]   # timed
+
+The builder runs once, untimed, and returns the callable the protocol
+times — so LUT construction, corpus generation and file I/O never
+pollute the measurement.  Per-case ``repeats``/``warmup``/``inner``
+override the suite defaults chosen from the scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, Optional
+
+__all__ = ["BenchCase", "perf_case", "iter_cases", "clear_cases"]
+
+#: Builder: called once (untimed), returns the workload to time.
+Builder = Callable[[], Callable[[], Any]]
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One registered benchmark case."""
+
+    suite: str
+    name: str
+    builder: Builder
+    #: Protocol overrides; ``None`` falls back to the runner's defaults.
+    repeats: Optional[int] = None
+    warmup: Optional[int] = None
+    inner: Optional[int] = None
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.suite}.{self.name}"
+
+
+#: Global registry: qualified name -> case.  Re-registering the same
+#: qualified name replaces the entry (module re-imports are idempotent).
+_CASES: Dict[str, BenchCase] = {}
+
+
+def perf_case(
+    suite: str,
+    name: Optional[str] = None,
+    repeats: Optional[int] = None,
+    warmup: Optional[int] = None,
+    inner: Optional[int] = None,
+) -> Callable[[Builder], Builder]:
+    """Register a case builder under ``suite`` (decorator)."""
+    if not suite or "/" in suite or "." in suite:
+        raise ValueError(f"invalid suite name {suite!r}")
+
+    def decorate(builder: Builder) -> Builder:
+        case = BenchCase(
+            suite=suite,
+            name=name or builder.__name__,
+            builder=builder,
+            repeats=repeats,
+            warmup=warmup,
+            inner=inner,
+        )
+        _CASES[case.qualified] = case
+        return builder
+
+    return decorate
+
+
+def iter_cases(suite: Optional[str] = None) -> Iterator[BenchCase]:
+    """Registered cases, sorted by (suite, name) for stable artifacts."""
+    for key in sorted(_CASES):
+        case = _CASES[key]
+        if suite is None or case.suite == suite:
+            yield case
+
+
+def registered_suites() -> list[str]:
+    return sorted({case.suite for case in _CASES.values()})
+
+
+def clear_cases() -> None:
+    """Empty the registry (tests)."""
+    _CASES.clear()

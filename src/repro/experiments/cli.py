@@ -25,7 +25,14 @@ Observability::
     cop-experiments fig11 --obs                    # embed a metrics snapshot
     cop-experiments fig11 --trace /tmp/t.jsonl \\
         --trace-sample 0.01                        # + sampled event trace
+    cop-experiments fig12 --trace /tmp/t.jsonl --jobs 4   # traced + parallel
     cop-experiments obs --metrics results/fig11.json --trace /tmp/t.jsonl
+
+Performance trajectory (see docs/perf-trajectory.md)::
+
+    cop-experiments bench                          # run all bench suites
+    cop-experiments bench --suite kernels --compare
+    cop-experiments bench --gate 20                # fail on >20% regression
 """
 
 from __future__ import annotations
@@ -107,6 +114,66 @@ def _run_obs_command(args) -> int:
     return status
 
 
+def _run_bench_command(args, scale: Scale) -> int:
+    """``cop-experiments bench``: run suites, emit artifacts, gate.
+
+    Order matters: each artifact is compared against the trajectory
+    *before* this run's entries are appended, so ``--compare``/``--gate``
+    always diff against the previous run.
+    """
+    from repro.bench import (
+        BenchRunner,
+        compare_artifact,
+        load_trajectory,
+        trajectory_path,
+    )
+    from repro.experiments.common import results_dir
+
+    runner = BenchRunner(scale=scale.value, bench_dir=args.bench_dir)
+    try:
+        artifacts = runner.run(args.suite or None)
+    except ValueError as exc:
+        print(f"bench: {exc}")
+        return 2
+    results = results_dir()
+    entries = load_trajectory(trajectory_path(results))
+    gate = args.gate
+    comparing = args.compare or gate is not None
+    status = 0
+    payload: list[dict] = []
+    for artifact in artifacts:
+        path = artifact.save(results)
+        record: dict = {"artifact": str(path), **artifact.as_dict()}
+        comparison = compare_artifact(artifact, entries) if comparing else None
+        if comparison is not None:
+            regressions = comparison.regressions(gate) if gate is not None else []
+            if regressions:
+                status = 1
+            record["comparison"] = {
+                "baseline_sha": comparison.previous_sha,
+                "config_mismatch": comparison.config_mismatch,
+                "cases": {
+                    case.name: case.delta_pct for case in comparison.cases
+                },
+                "regressions": [case.name for case in regressions],
+            }
+        payload.append(record)
+        if not args.json:
+            print(f"[saved {path}]")
+            if comparison is not None:
+                print(comparison.render(gate))
+    BenchRunner.append_trajectory(artifacts, results)
+    if runner.skipped_files and not args.json:
+        skipped = ", ".join(name for name, _ in runner.skipped_files)
+        print(f"[note] skipped bench files (unimportable here): {skipped}")
+    if args.json:
+        print(json.dumps({"suites": payload, "gate_pct": gate}, indent=2))
+    if gate is not None and not args.json:
+        verdict = "FAIL" if status else "ok"
+        print(f"[gate {gate:g}%] {verdict}")
+    return status
+
+
 def _call_experiment(fn, scale, workers=None, use_cache=None, use_batch=None):
     """Invoke a harness, forwarding runner options only where supported.
 
@@ -135,10 +202,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "report", "obs"],
+        choices=sorted(EXPERIMENTS) + ["all", "bench", "obs", "report"],
         help="which figure/table to regenerate ('report' summarises "
         "saved results against the paper's claims; 'obs' renders a "
-        "metrics snapshot and/or summarises a trace file)",
+        "metrics snapshot and/or summarises a trace file; 'bench' runs "
+        "the benchmark suites and emits BENCH_<suite>.json artifacts)",
     )
     parser.add_argument(
         "--scale",
@@ -244,6 +312,38 @@ def main(argv: list[str] | None = None) -> int:
         help="[obs] exit non-zero unless the trace parses and the "
         "metrics snapshot is non-empty",
     )
+    # `bench` subcommand inputs:
+    parser.add_argument(
+        "--suite",
+        action="append",
+        metavar="NAME",
+        help="[bench] suite to run (repeatable; default: all discovered)",
+    )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="[bench] diff each suite against its last trajectory entry",
+    )
+    parser.add_argument(
+        "--gate",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="[bench] exit non-zero if any case's median regresses more "
+        "than PCT%% vs the last trajectory entry (implies --compare)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="[bench] print machine-readable artifact + comparison JSON",
+    )
+    parser.add_argument(
+        "--bench-dir",
+        metavar="DIR",
+        default=None,
+        help="[bench] directory of bench_*.py files (default: the repo's "
+        "benchmarks/)",
+    )
     args = parser.parse_args(argv)
 
     # Subcommands that run no simulation must not choke on a bad
@@ -266,6 +366,9 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError as exc:
             parser.error(str(exc))
 
+    if args.experiment == "bench":
+        return _run_bench_command(args, scale)
+
     from repro.experiments import resilience
 
     resilience.configure(
@@ -274,13 +377,6 @@ def main(argv: list[str] | None = None) -> int:
         resume=True if args.resume else None,
         fail_fast=True if args.fail_fast else None,
     )
-
-    if args.trace_out and (args.jobs or 0) > 1:
-        print(
-            "[note] --trace requires in-process execution; "
-            "running serially (--jobs 1)"
-        )
-        args.jobs = 1
 
     obs = None
     if args.obs or args.trace_out:

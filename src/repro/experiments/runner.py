@@ -40,8 +40,14 @@ to serial execution after repeated pool failures) keep one bad worker
 from costing the batch.  Parallel runs — even fault-injected ones —
 remain **bit-identical** to serial runs.
 
-Event tracing (``--trace``) requires the simulation to actually execute
-in-process, so an enabled tracer forces serial, uncached execution.
+Event tracing (``--trace``) composes with ``--jobs``: each job writes a
+deterministic per-job shard file (built from a picklable
+:class:`~repro.obs.trace.TraceShardSpec`; no wall times, no pids, every
+record stamped with its job index) and the parent merges the shards into
+the trace sink in job-list order — so a parallel traced run produces a
+byte-identical event stream to a serial traced one.  Tracing still
+bypasses the cache (a cached hit executes nothing, so it has no events
+to contribute) and skips the journal.
 """
 
 from __future__ import annotations
@@ -50,7 +56,9 @@ import hashlib
 import json
 import os
 import pickle
+import shutil
 import sys
+import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
@@ -79,6 +87,7 @@ from repro.obs import (
     MetricsRegistry,
     Observability,
     Profiler,
+    TraceShardSpec,
     get_obs,
 )
 from repro.reliability.parma import VulnerabilityReport
@@ -475,8 +484,9 @@ def _execute_job(
 ) -> SimResult:
     """Run one job against a fresh observability bundle (worker entry).
 
-    ``tracer`` is only ever non-None on the in-process serial path — a
-    tracer cannot cross a process boundary.
+    ``tracer`` is a per-job shard tracer on traced runs (serial and
+    parallel alike — a tracer cannot cross a process boundary, so the
+    pool path builds it worker-side from a :class:`TraceShardSpec`).
     """
     if collect_metrics or tracer is not None:
         obs = Observability(
@@ -521,11 +531,29 @@ def _worker_entry(
     collect_metrics: bool,
     cfg: ResilienceConfig,
     attempt: int,
+    shard_spec: Optional[TraceShardSpec] = None,
+    index: int = 0,
 ) -> SimResult:
-    """Pool-worker entry: one guarded attempt (timeout + chaos hook)."""
-    return resilience.guarded_execute(
-        job, collect_metrics, cfg, attempt, execute=_execute_job, in_worker=True
-    )
+    """Pool-worker entry: one guarded attempt (timeout + chaos hook).
+
+    On traced runs the worker builds its own shard tracer from the
+    picklable ``shard_spec`` (opening truncates, so a retried attempt
+    replaces — never duplicates — the failed attempt's events).
+    """
+    tracer = shard_spec.tracer_for(index) if shard_spec is not None else None
+    try:
+        return resilience.guarded_execute(
+            job,
+            collect_metrics,
+            cfg,
+            attempt,
+            execute=_execute_job,
+            tracer=tracer,
+            in_worker=True,
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
 
 
 #: Consecutive broken-pool incidents tolerated before run_jobs stops
@@ -567,11 +595,18 @@ def run_jobs(
     if resume is not None:
         cfg = dataclasses_replace(cfg, resume=resume)
     tracing = obs.trace.enabled
+    shard_spec: Optional[TraceShardSpec] = None
     if tracing:
-        # Tracing needs the events to be emitted in this process, from a
-        # real execution: force serial and bypass the cache.
-        workers = 1
+        # Tracing needs every job to actually execute (a cache hit has
+        # no events to contribute), so bypass the cache; execution may
+        # still be parallel — each job writes a deterministic shard file
+        # that gets merged into the sink in job order afterwards.
         use_cache = False
+        shard_spec = TraceShardSpec(
+            directory=tempfile.mkdtemp(prefix="repro-trace-shards-"),
+            sample_rate=obs.trace.sample_rate,
+            seed=obs.trace.seed,
+        )
     if cache is None:
         cache = ResultCache(enabled=cache_enabled(use_cache), obs=obs)
     elif use_cache is not None:
@@ -656,9 +691,14 @@ def run_jobs(
             keys[index], attempts[index], cfg.backoff_base, cfg.backoff_cap
         )
 
-    def run_serial(indices: Sequence[int], tracer: Optional[EventTracer]) -> None:
+    def run_serial(indices: Sequence[int]) -> None:
         for index in indices:
             while True:
+                tracer: Optional[EventTracer] = (
+                    shard_spec.tracer_for(index)
+                    if shard_spec is not None
+                    else None
+                )
                 try:
                     result = resilience.guarded_execute(
                         jobs[index],
@@ -675,6 +715,9 @@ def run_jobs(
                 else:
                     on_success(index, result)
                     break
+                finally:
+                    if tracer is not None:
+                        tracer.close()
 
     def run_parallel(indices: Sequence[int]) -> list[int]:
         """Fan pending jobs over fork pools, rebuilding broken ones.
@@ -711,6 +754,8 @@ def run_jobs(
                             collect_metrics,
                             cfg,
                             attempts[index],
+                            shard_spec,
+                            index,
                         ): index
                         for index in remaining
                     }
@@ -757,14 +802,25 @@ def run_jobs(
                 time.sleep(max(retry_delays))
         return []
 
-    if pending:
-        parallel = workers > 1 and len(pending) > 1 and _fork_available()
-        if parallel:
-            leftover = run_parallel(pending)
-            if leftover:
-                run_serial(leftover, tracer=None)
-        else:
-            run_serial(pending, tracer=obs.trace if tracing else None)
+    try:
+        if pending:
+            parallel = workers > 1 and len(pending) > 1 and _fork_available()
+            if parallel:
+                leftover = run_parallel(pending)
+                if leftover:
+                    run_serial(leftover)
+            else:
+                run_serial(pending)
+        if shard_spec is not None:
+            # Merge per-job shards into the sink in job-list order; the
+            # shards are deterministic, so serial and parallel traced
+            # runs produce byte-identical merged streams.
+            obs.trace.absorb(
+                [shard_spec.shard_path(index) for index in range(len(jobs))]
+            )
+    finally:
+        if shard_spec is not None:
+            shutil.rmtree(shard_spec.directory, ignore_errors=True)
 
     if collect_metrics:
         for result in results:

@@ -31,16 +31,19 @@ from pathlib import Path
 from typing import IO, Any, Optional, Union
 
 from repro.obs.metrics import (
+    DEFAULT_PERCENTILES,
     NULL_REGISTRY,
     MetricsRegistry,
     NullRegistry,
     render_tree,
 )
+from repro.obs.perf import TimingStats, best_seconds, fingerprint, measure
 from repro.obs.profile import NULL_PROFILER, NullProfiler, Profiler
 from repro.obs.trace import (
     NULL_TRACER,
     EventTracer,
     NullTracer,
+    TraceShardSpec,
     summarize_trace,
 )
 
@@ -49,15 +52,21 @@ __all__ = [
     "NULL_OBS",
     "get_obs",
     "set_obs",
+    "DEFAULT_PERCENTILES",
     "MetricsRegistry",
     "NullRegistry",
     "NULL_REGISTRY",
     "EventTracer",
     "NullTracer",
     "NULL_TRACER",
+    "TraceShardSpec",
     "Profiler",
     "NullProfiler",
     "NULL_PROFILER",
+    "TimingStats",
+    "best_seconds",
+    "fingerprint",
+    "measure",
     "render_tree",
     "summarize_trace",
 ]

@@ -24,19 +24,30 @@ check) when observability is off.
 from __future__ import annotations
 
 import math
-from typing import Any, Mapping, Union
+from typing import Any, Mapping, Optional, Sequence, Union
 
 __all__ = [
     "Counter",
+    "DEFAULT_PERCENTILES",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NullRegistry",
     "NULL_REGISTRY",
+    "percentile_key",
     "render_tree",
 ]
 
-_PERCENTILES = (50.0, 90.0, 99.0)
+#: Default percentile set reported by :meth:`Histogram.as_dict`.
+DEFAULT_PERCENTILES = (50.0, 90.0, 99.0, 99.9)
+
+#: Backwards-compatible alias (pre-p99.9 name).
+_PERCENTILES = DEFAULT_PERCENTILES
+
+
+def percentile_key(pct: float) -> str:
+    """Snapshot key for a percentile: ``p50``, ``p99``, ``p99.9``."""
+    return f"p{pct:g}"
 
 
 class Counter:
@@ -76,19 +87,29 @@ class Histogram:
     outside clamp to the edge buckets.  Percentiles return the geometric
     midpoint of the bucket holding the requested rank, so repeated runs of
     a deterministic simulation report identical numbers.
+
+    The reported percentile set is configurable per histogram
+    (``percentiles=(50, 95, 99.9)``); the default adds ``p99.9`` to the
+    classic p50/p90/p99 trio.  Whatever the set, ``merge_dict`` stays
+    lossless: merging folds the raw buckets, not the derived percentiles.
     """
 
     _MIN_EXP = -10  # ~1e-3: sub-ns latencies clamp here
     _MAX_EXP = 50  # ~1e15: covers any ns quantity a run produces
 
-    __slots__ = ("name", "count", "total", "min", "max", "_buckets")
+    __slots__ = ("name", "count", "total", "min", "max", "percentiles", "_buckets")
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self, name: str, percentiles: Optional[Sequence[float]] = None
+    ) -> None:
         self.name = name
         self.count = 0
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self.percentiles: tuple[float, ...] = (
+            tuple(percentiles) if percentiles is not None else DEFAULT_PERCENTILES
+        )
         self._buckets = [0] * (self._MAX_EXP - self._MIN_EXP)
 
     def _bucket_index(self, value: float) -> int:
@@ -129,10 +150,11 @@ class Histogram:
         return {
             "count": self.count,
             "total": self.total,
+            "sum": self.total,
             "mean": self.mean,
             "min": self.min,
             "max": self.max,
-            **{f"p{int(p)}": self.percentile(p) for p in _PERCENTILES},
+            **{percentile_key(p): self.percentile(p) for p in self.percentiles},
             "buckets": {
                 str(i + self._MIN_EXP): n
                 for i, n in enumerate(self._buckets)
@@ -145,7 +167,7 @@ class Histogram:
         if not data.get("count"):
             return
         self.count += data["count"]
-        self.total += data["total"]
+        self.total += data.get("total", data.get("sum", 0.0))
         self.min = min(self.min, data["min"])
         self.max = max(self.max, data["max"])
         for key, n in data.get("buckets", {}).items():
@@ -177,10 +199,14 @@ class MetricsRegistry:
             metric = self._gauges[name] = Gauge(name)
         return metric
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(
+        self, name: str, percentiles: Optional[Sequence[float]] = None
+    ) -> Histogram:
         metric = self._histograms.get(name)
         if metric is None:
-            metric = self._histograms[name] = Histogram(name)
+            metric = self._histograms[name] = Histogram(
+                name, percentiles=percentiles
+            )
         return metric
 
     # -- convenience mutators -----------------------------------------------
@@ -300,7 +326,9 @@ class NullRegistry(MetricsRegistry):
     def gauge(self, name: str) -> Gauge:
         return self._null_gauge
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(
+        self, name: str, percentiles: Optional[Sequence[float]] = None
+    ) -> Histogram:
         return self._null_histogram
 
     def inc(self, name: str, amount: int = 1) -> None:
@@ -355,9 +383,13 @@ def render_tree(snapshot: Mapping[str, Any]) -> str:
         _tree_insert(tree, name, _format_value(value))
     for name, data in snapshot.get("histograms", {}).items():
         if data.get("count"):
+            # Custom-percentile histograms may not carry p50/p99; fall
+            # back to min/max bounds rather than KeyError-ing the render.
+            p50 = data.get("p50", data.get("min", 0.0))
+            p99 = data.get("p99", data.get("max", 0.0))
             leaf = (
                 f"n={data['count']:,} mean={data['mean']:,.1f} "
-                f"p50={data['p50']:,.1f} p99={data['p99']:,.1f} "
+                f"p50={p50:,.1f} p99={p99:,.1f} "
                 f"max={data['max']:,.1f}"
             )
         else:

@@ -1,3 +1,4 @@
+# repro: sanctioned[wall-clock]
 """Wall-clock profiling hooks for the simulator's host-side hot paths.
 
 The metrics registry counts *simulated* quantities; this module measures

@@ -1,0 +1,10 @@
+# lint-as: repro/bench/cases.py
+# repro: sanctioned[wall-clock]
+"""The sanction covers wall clocks only — entropy is still flagged."""
+
+import random
+import time
+
+
+def jitter():
+    return time.perf_counter() * random.random()

@@ -1,0 +1,10 @@
+# lint-as: repro/obs/timing_helper.py
+# repro: sanctioned[wall-clock]
+"""Measurement code: wall-clock reads here are sanctioned by directive."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.perf_counter_ns(), time.time(), datetime.now()

@@ -227,7 +227,9 @@ class TestCli:
         parallel = capsys.readouterr().out
         assert parallel == serial
 
-    def test_trace_with_jobs_runs_serially(self, tmp_path, capsys):
+    def test_trace_composes_with_jobs(self, tmp_path, capsys):
+        """--trace no longer forces serial: parallel traced runs shard
+        per job and merge byte-identically (docs/parallel-runs.md)."""
         trace = tmp_path / "t.jsonl"
         assert (
             cli.main(
@@ -237,5 +239,15 @@ class TestCli:
             == 0
         )
         out = capsys.readouterr().out
-        assert "running serially" in out
+        assert "running serially" not in out
         assert trace.exists() and trace.stat().st_size > 0
+        serial = tmp_path / "serial.jsonl"
+        assert (
+            cli.main(
+                ["fig12", "--scale", "smoke",
+                 "--trace", str(serial), "--no-cache"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert serial.read_bytes() == trace.read_bytes()

@@ -175,6 +175,42 @@ class TestSuppression:
         assert ids_of(lint_source(source)) == {"REP001"}
 
 
+class TestWallClockSanction:
+    def test_obs_and_bench_packages_are_guarded(self):
+        source = (
+            "# lint-as: repro/obs/helper.py\n"
+            "import time\n"
+            "def now():\n"
+            "    return time.time()\n"
+        )
+        assert ids_of(lint_source(source)) == {"REP001"}
+        source = source.replace("repro/obs/", "repro/bench/")
+        assert ids_of(lint_source(source)) == {"REP001"}
+
+    def test_sanctioned_fixture_wall_clock_is_clean(self):
+        findings = lint_file(FIXTURES / "sanctioned_pass.py")
+        assert findings == [], [f.format() for f in findings]
+
+    def test_sanction_does_not_cover_entropy(self):
+        findings = lint_file(FIXTURES / "sanctioned_fail.py")
+        messages = [f.message for f in findings if f.rule_id == "REP001"]
+        # random.random still flagged; time.perf_counter is not.
+        assert len(messages) == 1
+        assert "global RNG" in messages[0]
+
+    def test_directive_must_be_in_first_ten_lines(self):
+        filler = "# filler\n" * 10
+        source = (
+            "# lint-as: repro/obs/helper.py\n"
+            + filler
+            + "# repro: sanctioned[wall-clock]\n"
+            "import time\n"
+            "def now():\n"
+            "    return time.time()\n"
+        )
+        assert ids_of(lint_source(source)) == {"REP001"}
+
+
 class TestSelfLint:
     def test_src_repro_is_clean(self):
         findings = lint_paths([SRC])

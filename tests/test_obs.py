@@ -17,8 +17,9 @@ from repro.obs import (
     set_obs,
     summarize_trace,
 )
-from repro.obs.metrics import Histogram
+from repro.obs.metrics import DEFAULT_PERCENTILES, Histogram
 from repro.obs.profile import NullProfiler, Profiler
+from repro.obs.trace import TraceShardSpec, derive_shard_seed
 
 
 class TestRegistry:
@@ -139,6 +140,42 @@ class TestHistogram:
         assert b.count == 4
         assert b.min == 1.0 and b.max == 10.0
 
+    def test_default_percentiles_include_p999_sum_mean(self):
+        assert 99.9 in DEFAULT_PERCENTILES
+        hist = Histogram("lat")
+        for value in range(1, 101):
+            hist.observe(float(value))
+        data = hist.as_dict()
+        assert {"p50", "p90", "p99", "p99.9", "sum", "mean"} <= set(data)
+        assert data["sum"] == data["total"] == hist.total
+        assert data["mean"] == pytest.approx(hist.mean)
+        assert data["p99"] <= data["p99.9"] <= data["max"]
+
+    def test_custom_percentiles(self):
+        hist = Histogram("lat", percentiles=(25.0, 75.0))
+        for value in range(1, 101):
+            hist.observe(float(value))
+        data = hist.as_dict()
+        assert "p25" in data and "p75" in data
+        assert "p50" not in data
+        # A custom-percentile snapshot still merges losslessly (buckets,
+        # not the derived percentiles, carry the distribution).
+        other = Histogram("lat")
+        other.merge_dict(data)
+        assert other.count == 100
+        assert other.as_dict()["p50"] > 0
+
+    def test_merge_accepts_sum_only_snapshot(self):
+        hist = Histogram("x")
+        hist.merge_dict({"count": 2, "sum": 6.0, "min": 1.0, "max": 5.0})
+        assert hist.total == 6.0
+
+    def test_registry_histogram_percentiles_pass_through(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", percentiles=(10.0,))
+        assert hist.percentiles == (10.0,)
+        assert registry.histogram("lat") is hist
+
 
 class TestTracer:
     def test_jsonl_events_parse(self):
@@ -210,6 +247,65 @@ class TestTracer:
         with tracer.span("x"):
             pass
         assert not tracer.enabled
+
+
+class TestTraceSharding:
+    def test_deterministic_span_omits_wall_ms(self):
+        sink = io.StringIO()
+        tracer = EventTracer(sink, deterministic=True)
+        with tracer.span("phase"):
+            pass
+        (record,) = [json.loads(l) for l in sink.getvalue().splitlines()]
+        assert record["kind"] == "span"
+        assert "wall_ms" not in record
+
+    def test_static_fields_stamped_on_every_record(self):
+        sink = io.StringIO()
+        tracer = EventTracer(sink, static_fields={"job": 3})
+        tracer.emit("access", addr=1)
+        with tracer.span("run"):
+            pass
+        records = [json.loads(l) for l in sink.getvalue().splitlines()]
+        assert all(r["job"] == 3 for r in records)
+
+    def test_absorb_renumbers_seq_in_order(self, tmp_path):
+        spec = TraceShardSpec(directory=str(tmp_path))
+        for index in (0, 1):
+            shard = spec.tracer_for(index)
+            shard.emit("access", addr=index * 10)
+            shard.emit("access", addr=index * 10 + 1)
+            shard.close()
+        sink = io.StringIO()
+        parent = EventTracer(sink)
+        parent.emit("preamble")
+        absorbed = parent.absorb(
+            [spec.shard_path(0), spec.shard_path(1), spec.shard_path(2)]
+        )
+        assert absorbed == 4  # missing shard 2 skipped
+        records = [json.loads(l) for l in sink.getvalue().splitlines()]
+        assert [r["seq"] for r in records] == [1, 2, 3, 4, 5]
+        assert [r.get("job") for r in records] == [None, 0, 0, 1, 1]
+        assert parent.emitted == 5
+
+    def test_shard_seeds_differ_per_index_and_are_stable(self):
+        assert derive_shard_seed(0, 1) != derive_shard_seed(0, 2)
+        assert derive_shard_seed(0, 1) != derive_shard_seed(1, 1)
+        assert derive_shard_seed(7, 3) == derive_shard_seed(7, 3)
+
+    def test_tracer_for_truncates_on_reopen(self, tmp_path):
+        spec = TraceShardSpec(directory=str(tmp_path))
+        first = spec.tracer_for(0)
+        first.emit("access", attempt=1)
+        first.close()
+        second = spec.tracer_for(0)
+        second.emit("access", attempt=2)
+        second.close()
+        lines = spec.shard_path(0).read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["attempt"] == 2
+
+    def test_null_tracer_absorb_is_noop(self, tmp_path):
+        assert NullTracer().absorb([tmp_path / "missing.jsonl"]) == 0
 
 
 class TestProfiler:

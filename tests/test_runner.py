@@ -229,7 +229,7 @@ class TestDeterminism:
             if name.startswith("profile.") and name.endswith(".seconds")
         ]
 
-    def test_tracing_forces_serial_uncached(self, tmp_path):
+    def test_tracing_bypasses_cache(self, tmp_path):
         trace_path = tmp_path / "trace.jsonl"
         obs = Observability.create(trace_sink=str(trace_path))
         cache = ResultCache(root=tmp_path / "cache")
@@ -237,6 +237,51 @@ class TestDeterminism:
         obs.close()
         assert cache.stores == 0  # bypassed: a cached hit emits no events
         assert trace_path.exists() and trace_path.stat().st_size > 0
+
+    @needs_fork
+    def test_parallel_trace_byte_identical_to_serial(self, tmp_path):
+        """--trace composes with --jobs: the merged shard stream equals
+        the serial stream byte for byte (no wall times, no pids; per-job
+        records stamped with the job index and merged in job order)."""
+        jobs = smoke_jobs()
+        serial_path = tmp_path / "serial.jsonl"
+        parallel_path = tmp_path / "parallel.jsonl"
+        serial_obs = Observability.create(trace_sink=str(serial_path))
+        serial = run_jobs(jobs, workers=1, obs=serial_obs)
+        serial_obs.close()
+        parallel_obs = Observability.create(trace_sink=str(parallel_path))
+        parallel = run_jobs(jobs, workers=4, obs=parallel_obs)
+        parallel_obs.close()
+        assert parallel == serial
+        serial_bytes = serial_path.read_bytes()
+        assert serial_bytes  # events were actually captured
+        assert parallel_path.read_bytes() == serial_bytes
+        records = [
+            json.loads(line)
+            for line in serial_bytes.decode().splitlines()
+        ]
+        assert {r["job"] for r in records} == set(range(len(jobs)))
+        assert [r["seq"] for r in records] == list(
+            range(1, len(records) + 1)
+        )
+        assert not any("wall_ms" in r for r in records)
+
+    @needs_fork
+    def test_sampled_parallel_trace_matches_serial(self, tmp_path):
+        """Sampling draws from per-job seeded PRNGs, so the kept-set is
+        schedule-independent too."""
+        jobs = smoke_jobs()[:2]
+        paths = {
+            "serial": tmp_path / "serial.jsonl",
+            "parallel": tmp_path / "parallel.jsonl",
+        }
+        for name, workers in (("serial", 1), ("parallel", 4)):
+            obs = Observability.create(
+                trace_sink=str(paths[name]), sample_rate=0.25, seed=11
+            )
+            run_jobs(jobs, workers=workers, obs=obs)
+            obs.close()
+        assert paths["parallel"].read_bytes() == paths["serial"].read_bytes()
 
     def test_harness_parallel_equals_serial(self, tmp_path, monkeypatch):
         """End-to-end: a ported figure harness renders byte-identical
