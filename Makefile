@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench results report examples lint obs-smoke par-smoke chaos-smoke kernels-smoke bench-trajectory trace-smoke clean
+.PHONY: install test bench results report examples lint obs-smoke par-smoke chaos-smoke kernels-smoke bench-trajectory trace-smoke service-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -105,12 +105,13 @@ bench-trajectory:
 	rm -rf /tmp/cop-bench-results
 	REPRO_RESULTS_DIR=/tmp/cop-bench-results PYTHONPATH=src \
 		$(PYTHON) -m repro.experiments.cli bench --scale smoke \
-		--suite kernels --suite runner
+		--suite kernels --suite runner --suite service
 	REPRO_RESULTS_DIR=/tmp/cop-bench-results PYTHONPATH=src \
 		$(PYTHON) -m repro.experiments.cli bench --scale smoke \
-		--suite kernels --suite runner --compare --gate 200
+		--suite kernels --suite runner --suite service --compare --gate 200
 	@test -s /tmp/cop-bench-results/BENCH_kernels.json
 	@test -s /tmp/cop-bench-results/BENCH_runner.json
+	@test -s /tmp/cop-bench-results/BENCH_service.json
 	@echo "bench-trajectory: artifacts written, compare + gate exercised"
 
 # Cross-worker tracing gate: the same traced figure serially and with
@@ -125,6 +126,17 @@ trace-smoke:
 		--trace /tmp/cop-trace-parallel.jsonl --jobs 4
 	cmp /tmp/cop-trace-serial.jsonl /tmp/cop-trace-parallel.jsonl
 	@echo "trace-smoke: parallel merged trace is byte-identical to serial"
+
+# Concurrency-correctness gate for the service daemon: a small verified
+# loadgen burst over a real TCP server — the threaded run must be
+# byte-identical to a serial replay of the same schedule (responses,
+# stored contents, controller stats, memo counters; docs/service.md).
+service-smoke:
+	REPRO_RESULTS_DIR=/tmp/cop-service-smoke PYTHONPATH=src \
+		$(PYTHON) -m repro.experiments.cli loadgen --with-server --verify \
+		--service-ops 8000 --tenants 4 --shards 4 --blocks-per-tenant 256
+	@test -s /tmp/cop-service-smoke/service_loadgen.json
+	@echo "service-smoke: threaded service byte-identical to serial replay"
 
 clean:
 	rm -rf results .pytest_cache .hypothesis

@@ -1,0 +1,70 @@
+"""Throughput benchmarks of the COP service daemon (repro.service).
+
+Trajectory cases for ``cop-experiments bench --suite service``: the
+threaded sharded daemon under a deterministic mixed-tenant burst, the
+serial replay pipeline it is parity-checked against, and the raw
+in-process request path without the loadgen driver.  No paper
+counterpart — these track the reproduction's service front end the same
+way the kernels suite tracks its codecs.
+"""
+
+from repro.bench import perf_case
+from repro.service import (
+    COPService,
+    LoadgenConfig,
+    Request,
+    ServiceConfig,
+    run_loadgen,
+)
+from repro.service.loadgen import interleave
+
+
+def _config(ops):
+    # Small arenas keep the schedule warm-up (first-touch compression
+    # probes) from dominating what should be a steady-state number.
+    return LoadgenConfig(
+        ops=ops,
+        tenants=4,
+        window=32,
+        blocks_per_tenant=128,
+        service=ServiceConfig(shards=4),
+    )
+
+
+@perf_case(suite="service")
+def service_threaded_loadgen():
+    """4 tenant threads x 4 shards, in-process, 8k mixed ops per repeat."""
+    config = _config(8_000)
+    run_loadgen(config)  # warm the schedule caches outside the timing
+    return lambda: run_loadgen(config)
+
+
+@perf_case(suite="service")
+def service_serial_replay():
+    """The parity baseline: same schedule, one request per batch."""
+    config = _config(8_000)
+    requests = list(interleave(config))
+
+    def replay():
+        replica = COPService(config.service)
+        for request in requests:
+            replica.shards[replica.route(request)].process_serially([request])
+
+    replay()
+    return replay
+
+
+@perf_case(suite="service", inner=4)
+def service_submit_path():
+    """Raw submit/result round-trips on a started service (1k pings)."""
+    service = COPService(ServiceConfig(shards=4))
+    service.start()
+    pings = [Request("ping", id=i) for i in range(1_000)]
+
+    def burst():
+        futures = [service.submit(request) for request in pings]
+        for future in futures:
+            future.result()
+
+    burst()
+    return burst

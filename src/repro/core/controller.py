@@ -50,7 +50,13 @@ from repro.core.coper import ENTRIES_PER_BLOCK, CoperBlockFormat, ECCRegion
 from repro.ecc.codes import code_72_64, code_523_512
 from repro.ecc.hsiao import CodeStatus
 
-__all__ = ["ProtectionMode", "ControllerStats", "AccessResult", "ProtectedMemory"]
+__all__ = [
+    "ProtectionMode",
+    "BlockNotWrittenError",
+    "ControllerStats",
+    "AccessResult",
+    "ProtectedMemory",
+]
 
 #: Data blocks whose ECC entries share one 64-byte ECC block in the
 #: ECC-Region baseline (2-byte entry per block "to facilitate addressing").
@@ -67,9 +73,28 @@ class ProtectionMode(enum.Enum):
     ECC_DIMM = "ecc-dimm"
 
 
+class BlockNotWrittenError(KeyError):
+    """A read (or bit flip) targeted a block address never written.
+
+    Subclasses :class:`KeyError` so existing ``except KeyError`` callers
+    keep working; the service front end maps it to a clean typed protocol
+    error instead of an opaque internal failure, and ``read`` counts the
+    event in :attr:`ControllerStats.read_misses`.
+    """
+
+    def __init__(self, addr: int) -> None:
+        super().__init__(f"block {addr:#x} was never written")
+        self.addr = addr
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s its argument; keep the message readable.
+        return f"block {self.addr:#x} was never written"
+
+
 @dataclass
 class ControllerStats:
     reads: int = 0
+    read_misses: int = 0
     writes: int = 0
     compressed_reads: int = 0
     compressed_writes: int = 0
@@ -373,9 +398,14 @@ class ProtectedMemory:
     # -- read path ---------------------------------------------------------------
 
     def read(self, addr: int) -> AccessResult:
-        """Fetch and (per mode) verify/correct/decompress a block."""
+        """Fetch and (per mode) verify/correct/decompress a block.
+
+        Raises :class:`BlockNotWrittenError` (a ``KeyError``) for a block
+        that was never written, counting it in ``stats.read_misses``.
+        """
         if addr not in self.contents:
-            raise KeyError(f"block {addr:#x} was never written")
+            self.stats.read_misses += 1
+            raise BlockNotWrittenError(addr)
         self.stats.reads += 1
         stored = self.contents[addr]
 
@@ -427,11 +457,19 @@ class ProtectedMemory:
             )
 
         if self.mode is ProtectionMode.COP:
-            return AccessResult(
-                data=decoded.data, was_uncompressed=True, decompress_cycles=latency
-            )
+            # Raw block: the decoder's classification already ran inside
+            # the normal read pipeline and the stored bytes pass to the
+            # cache untouched (docs/architecture.md, "Life of a read") —
+            # no decompression happens, so no decompress cycles are
+            # charged.  Only compressed blocks pay the +4 cycles.
+            return AccessResult(data=decoded.data, was_uncompressed=True)
 
-        # COP-ER raw block: chase the pointer and rebuild.
+        # COP-ER raw block: chase the pointer and rebuild.  Unlike COP's
+        # raw passthrough this path does real decode work after the data
+        # arrives — extract the embedded pointer, whole-block (523,512)
+        # correction, displaced-bit reassembly — so it keeps charging the
+        # decode/decompress pipeline latency on top of the ECC-entry
+        # access (which is billed separately through ``ecc_reads``).
         assert self.formatter is not None
         loaded = self.formatter.load_incompressible(stored)
         self._count_read(loaded.corrected, loaded.uncorrectable, addr)
@@ -510,7 +548,9 @@ class ProtectedMemory:
     def flip_bit(self, addr: int, bit: int) -> None:
         """Flip one bit of the stored image of a resident block."""
         if addr not in self.contents:
-            raise KeyError(f"block {addr:#x} was never written")
+            # Harness hook, not a serviced read: typed error, but no
+            # read_misses charge.
+            raise BlockNotWrittenError(addr)
         if not 0 <= bit < 8 * BLOCK_BYTES:
             raise ValueError(f"bit index out of range: {bit}")
         image = bytearray(self.contents[addr])

@@ -33,6 +33,13 @@ Performance trajectory (see docs/perf-trajectory.md)::
     cop-experiments bench                          # run all bench suites
     cop-experiments bench --suite kernels --compare
     cop-experiments bench --gate 20                # fail on >20% regression
+
+Service daemon + load generator (see docs/service.md)::
+
+    cop-experiments serve --port 7457 --shards 4   # run the daemon
+    cop-experiments loadgen --service-ops 1000000 --verify
+    cop-experiments loadgen --with-server --service-ops 20000
+    cop-experiments loadgen --connect 127.0.0.1:7457 --service-ops 50000
 """
 
 from __future__ import annotations
@@ -174,6 +181,84 @@ def _run_bench_command(args, scale: Scale) -> int:
     return status
 
 
+def _service_config(args) -> "object":
+    from repro.core.controller import ProtectionMode
+    from repro.service import ServiceConfig
+
+    try:
+        mode = ProtectionMode(args.service_mode)
+    except ValueError:
+        valid = ", ".join(m.value for m in ProtectionMode)
+        raise ValueError(
+            f"unknown --service-mode {args.service_mode!r} (one of: {valid})"
+        ) from None
+    return ServiceConfig(
+        shards=args.shards,
+        mode=mode,
+        batch_max=args.batch_max,
+        queue_depth=args.queue_depth,
+        admission=args.admission,
+    )
+
+
+def _run_serve_command(args) -> int:
+    """``cop-experiments serve``: run the TCP daemon until interrupted."""
+    from repro.service import COPService, ServiceServer
+
+    try:
+        config = _service_config(args)
+    except ValueError as exc:
+        print(f"serve: {exc}")
+        return 2
+    server = ServiceServer(COPService(config), host=args.host, port=args.port)
+    server.start()
+    host, port = server.server_address[0], server.server_address[1]
+    print(
+        f"cop service listening on {host}:{port} "
+        f"({args.shards} shards, mode {args.service_mode}, "
+        f"admission {args.admission}); Ctrl-C to stop"
+    )
+    try:
+        while True:
+            server.wait(3600)
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.shutdown_service()
+    return 0
+
+
+def _run_loadgen_command(args) -> int:
+    """``cop-experiments loadgen``: drive deterministic mixed-tenant load."""
+    from repro.experiments.common import results_dir
+    from repro.service import LoadgenConfig, parse_host_port, run_loadgen
+
+    try:
+        config = LoadgenConfig(
+            ops=args.service_ops,
+            tenants=args.tenants,
+            window=args.window,
+            seed=args.service_seed,
+            blocks_per_tenant=args.blocks_per_tenant,
+            service=_service_config(args),
+        )
+        connect = parse_host_port(args.connect) if args.connect else None
+        report = run_loadgen(
+            config,
+            connect=connect,
+            with_server=args.with_server,
+            verify=args.verify,
+        )
+    except (ValueError, ConnectionError, OSError) as exc:
+        print(f"loadgen: {exc}")
+        return 2
+    print(report.summary())
+    path = results_dir() / "service_loadgen.json"
+    report.save(path)
+    print(f"[saved {path}]")
+    return 0
+
+
 def _call_experiment(fn, scale, workers=None, use_cache=None, use_batch=None):
     """Invoke a harness, forwarding runner options only where supported.
 
@@ -202,11 +287,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "bench", "obs", "report"],
+        choices=sorted(EXPERIMENTS)
+        + ["all", "bench", "loadgen", "obs", "report", "serve"],
         help="which figure/table to regenerate ('report' summarises "
         "saved results against the paper's claims; 'obs' renders a "
         "metrics snapshot and/or summarises a trace file; 'bench' runs "
-        "the benchmark suites and emits BENCH_<suite>.json artifacts)",
+        "the benchmark suites and emits BENCH_<suite>.json artifacts; "
+        "'serve' runs the COP service daemon and 'loadgen' drives "
+        "deterministic mixed-tenant load against it — see docs/service.md)",
     )
     parser.add_argument(
         "--scale",
@@ -344,6 +432,101 @@ def main(argv: list[str] | None = None) -> int:
         help="[bench] directory of bench_*.py files (default: the repo's "
         "benchmarks/)",
     )
+    # `serve` / `loadgen` subcommand inputs:
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="[serve] interface to bind (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=7457,
+        help="[serve] TCP port; 0 binds an ephemeral port (default 7457)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="[serve/loadgen] ProtectedMemory shards (default 4)",
+    )
+    parser.add_argument(
+        "--service-mode",
+        default="cop",
+        metavar="MODE",
+        help="[serve/loadgen] protection mode (default cop; parity "
+        "verification supports every mode except coper)",
+    )
+    parser.add_argument(
+        "--batch-max",
+        type=int,
+        default=64,
+        help="[serve/loadgen] max requests per shard micro-batch (default 64)",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=1024,
+        help="[serve/loadgen] bounded per-shard queue depth (default 1024)",
+    )
+    parser.add_argument(
+        "--admission",
+        choices=["block", "reject"],
+        default="block",
+        help="[serve/loadgen] full-queue policy: park the caller or "
+        "answer a typed BUSY (default block)",
+    )
+    parser.add_argument(
+        "--service-ops",
+        type=int,
+        default=1_000_000,
+        metavar="N",
+        help="[loadgen] total block operations to drive (default 1000000)",
+    )
+    parser.add_argument(
+        "--tenants",
+        type=int,
+        default=8,
+        help="[loadgen] concurrent tenant streams (default 8)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=64,
+        help="[loadgen] per-tenant pipelining window (default 64)",
+    )
+    parser.add_argument(
+        "--service-seed",
+        type=int,
+        default=2015,
+        help="[loadgen] schedule seed (default 2015)",
+    )
+    parser.add_argument(
+        "--blocks-per-tenant",
+        type=int,
+        default=2048,
+        metavar="N",
+        help="[loadgen] writable block slots per tenant (default 2048)",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="[loadgen] replay the schedule serially on a replica and "
+        "assert byte-identical contents/stats/memo counters "
+        "(in-process and --with-server transports only)",
+    )
+    parser.add_argument(
+        "--with-server",
+        action="store_true",
+        help="[loadgen] spin an in-process TCP daemon on an ephemeral "
+        "port and drive it over sockets (the CI smoke path)",
+    )
+    parser.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        default=None,
+        help="[loadgen] drive an already-running daemon instead",
+    )
     args = parser.parse_args(argv)
 
     # Subcommands that run no simulation must not choke on a bad
@@ -351,6 +534,12 @@ def main(argv: list[str] | None = None) -> int:
     # an explicit --scale always wins over the environment.
     if args.experiment == "obs":
         return _run_obs_command(args)
+
+    if args.experiment == "serve":
+        return _run_serve_command(args)
+
+    if args.experiment == "loadgen":
+        return _run_loadgen_command(args)
 
     if args.experiment == "report":
         from repro.experiments import report

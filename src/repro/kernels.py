@@ -34,7 +34,17 @@ on the scalar path and what ``HsiaoCode.syndrome_many`` consumes.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+import threading
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -250,6 +260,28 @@ class MemoizedCodec:
     (``encode``/``decode``/``codeword_count``/``is_alias`` plus the
     ``config``/``compressor``/``code``/``masks`` attributes), so it drops
     in wherever a ``COPCodec`` is expected.
+
+    Thread safety
+    -------------
+    Every cache operation — lookup, compute, size-check, FIFO eviction,
+    insertion, and the hit/miss/eviction counter updates — runs under one
+    internal lock, so a ``MemoizedCodec`` may be shared between threads
+    (the service daemon's shards each own one, and its stress suite
+    hammers a shared instance; see docs/kernels.md).  The compute of a
+    missing entry happens *inside* the lock: concurrent callers can never
+    compute the same content twice, which keeps the miss counter equal to
+    the number of distinct contents ever inserted — the same count a
+    serial caller would observe.  The lock is dropped from the pickled
+    state (and recreated on unpickle) so codecs still ride into fork-pool
+    workers.
+
+    The ``has_*``/``seed_*`` methods are the batch-warming surface the
+    service shards use: ``seed_encode(block, encoded)`` inserts an entry
+    computed elsewhere (by :class:`BatchCodec`, over a whole batch) and
+    counts it as a miss — it *is* a computed entry, exactly what a serial
+    scalar first encounter would have produced — after which the
+    in-place operation hits.  Seeding a present key is a no-op, so
+    counters stay consistent however callers interleave.
     """
 
     def __init__(
@@ -273,6 +305,22 @@ class MemoizedCodec:
         self._m_hits = registry.counter("kernels.memo.hits")
         self._m_misses = registry.counter("kernels.memo.misses")
         self._m_evictions = registry.counter("kernels.memo.evictions")
+        # One lock covers every cache and the counters: the size-check /
+        # evict / insert sequence (and the counter increments) must be
+        # atomic for the hit+miss bookkeeping to survive threaded shards.
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # Locks don't pickle; codecs ride into fork-pool workers inside
+        # job closures (docs/parallel-runs.md), so drop the lock and let
+        # __setstate__ mint a fresh one.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def _memo(
         self,
@@ -281,18 +329,41 @@ class MemoizedCodec:
         compute: Callable[[bytes], object],
     ) -> object:
         key = bytes(block)
-        hit = cache.get(key)
-        if hit is not None:
-            self._m_hits.inc()
-            return hit
-        self._m_misses.inc()
-        value = compute(key)
-        if len(cache) >= self.max_entries:
-            # FIFO eviction: dicts iterate in insertion order.
-            del cache[next(iter(cache))]
-            self._m_evictions.inc()
-        cache[key] = value
-        return value
+        with self._lock:
+            hit = cache.get(key)
+            if hit is not None:
+                self._m_hits.inc()
+                return hit
+            self._m_misses.inc()
+            # Compute *inside* the lock: a distinct content is computed at
+            # most once however many threads race on it, so the miss
+            # counter equals the number of entries ever inserted.
+            value = compute(key)
+            if len(cache) >= self.max_entries:
+                # FIFO eviction: dicts iterate in insertion order.
+                del cache[next(iter(cache))]
+                self._m_evictions.inc()
+            cache[key] = value
+            return value
+
+    def _seed(self, cache: Dict[bytes, object], block: bytes, value: object) -> None:
+        key = bytes(block)
+        with self._lock:
+            if key in cache:
+                return
+            self._m_misses.inc()
+            if len(cache) >= self.max_entries:
+                del cache[next(iter(cache))]
+                self._m_evictions.inc()
+            cache[key] = value
+
+    def _has(self, cache: Dict[bytes, object], block: bytes) -> bool:
+        with self._lock:
+            return bytes(block) in cache
+
+    def _peek(self, cache: Dict[bytes, object], block: bytes) -> object:
+        with self._lock:
+            return cache.get(bytes(block))
 
     def encode(self, block: bytes) -> EncodedBlock:
         return self._memo(self._encode_cache, block, self.codec.encode)  # type: ignore[arg-type,return-value]
@@ -309,14 +380,58 @@ class MemoizedCodec:
         """Alias check through the shared codeword-count cache."""
         return self.codeword_count(block) >= self.config.codeword_threshold
 
+    # -- batch-warming surface (service shards; see docs/kernels.md) --------
+
+    def has_encode(self, block: bytes) -> bool:
+        """Is this content's encode result already cached (no counters)?"""
+        return self._has(self._encode_cache, block)  # type: ignore[arg-type]
+
+    def has_decode(self, stored: bytes) -> bool:
+        """Is this stored image's decode result already cached?"""
+        return self._has(self._decode_cache, stored)  # type: ignore[arg-type]
+
+    def has_count(self, stored: bytes) -> bool:
+        """Is this content's codeword count already cached?"""
+        return self._has(self._count_cache, stored)  # type: ignore[arg-type]
+
+    def peek_encode(self, block: bytes) -> Optional[EncodedBlock]:
+        """Cached encode result, or ``None`` — never touches the counters.
+
+        The batch-prewarm path uses peeks to decide what to seed and to
+        simulate controller state within a batch; a peek must not count
+        as a hit or the hit totals would depend on batch boundaries.
+        """
+        return self._peek(self._encode_cache, block)  # type: ignore[arg-type,return-value]
+
+    def peek_decode(self, stored: bytes) -> Optional[DecodedBlock]:
+        """Cached decode result, or ``None`` (counter-free)."""
+        return self._peek(self._decode_cache, stored)  # type: ignore[arg-type,return-value]
+
+    def peek_count(self, stored: bytes) -> Optional[int]:
+        """Cached codeword count, or ``None`` (counter-free)."""
+        return self._peek(self._count_cache, stored)  # type: ignore[arg-type,return-value]
+
+    def seed_encode(self, block: bytes, encoded: EncodedBlock) -> None:
+        """Insert a batch-computed encode result (counts one miss)."""
+        self._seed(self._encode_cache, block, encoded)  # type: ignore[arg-type]
+
+    def seed_decode(self, stored: bytes, decoded: DecodedBlock) -> None:
+        """Insert a batch-computed decode result (counts one miss)."""
+        self._seed(self._decode_cache, stored, decoded)  # type: ignore[arg-type]
+
+    def seed_count(self, stored: bytes, count: int) -> None:
+        """Insert a batch-computed codeword count (counts one miss)."""
+        self._seed(self._count_cache, stored, count)  # type: ignore[arg-type]
+
     @property
     def cache_sizes(self) -> Dict[str, int]:
         """Live entry counts per memoised operation (for reporting)."""
-        return {
-            "encode": len(self._encode_cache),
-            "decode": len(self._decode_cache),
-            "codeword_count": len(self._count_cache),
-        }
+        with self._lock:
+            return {
+                "encode": len(self._encode_cache),
+                "decode": len(self._decode_cache),
+                "codeword_count": len(self._count_cache),
+            }
 
 
 # -- dedup helpers for the compressibility experiments -----------------------

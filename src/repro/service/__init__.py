@@ -1,0 +1,49 @@
+"""COP-as-a-service: a sharded, concurrent protected-memory daemon.
+
+The paper's controller is pure per-block logic, which makes it trivially
+shardable: this package fronts ``N`` independent
+:class:`~repro.core.controller.ProtectedMemory` instances (shard =
+address hash) with bounded queues, micro-batches each shard's in-flight
+requests through the :class:`~repro.kernels.BatchCodec` array kernels,
+and serves clients over newline-delimited JSON on TCP.
+
+* :mod:`repro.service.protocol` — requests, typed response statuses, wire format
+* :mod:`repro.service.shard` — single-owner shard workers + batch prewarm
+* :mod:`repro.service.server` — in-process facade, TCP front end, client
+* :mod:`repro.service.loadgen` — deterministic mixed-tenant load + parity check
+
+See docs/service.md for the architecture and the parity contract.
+"""
+
+from repro.service.loadgen import LoadgenConfig, LoadReport, run_loadgen
+from repro.service.protocol import ProtocolError, Request, Response, Status
+from repro.service.server import (
+    COPService,
+    ServiceClient,
+    ServiceServer,
+    parse_host_port,
+)
+from repro.service.shard import (
+    ServiceConfig,
+    Shard,
+    shard_of_addr,
+    shard_of_data,
+)
+
+__all__ = [
+    "COPService",
+    "LoadReport",
+    "LoadgenConfig",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceServer",
+    "Shard",
+    "Status",
+    "parse_host_port",
+    "run_loadgen",
+    "shard_of_addr",
+    "shard_of_data",
+]

@@ -1,0 +1,528 @@
+"""Deterministic mixed-tenant load generator for the COP service.
+
+Every tenant is a seeded, independent request stream: its own SPEC
+content profile (via :class:`~repro.workloads.blocks.BlockSource`), its
+own disjoint block arena, and its own write/read/encode/decode mix.
+Streams are pure functions of ``(LoadgenConfig, tenant index)`` — the
+generator can re-produce any tenant's exact sequence at any time, which
+is what makes the parity check possible without storing a million
+request objects.
+
+Parity contract
+---------------
+
+With per-tenant *sequential* submission (each tenant drives its stream
+from one thread, pipelined but in order) and disjoint tenant arenas,
+every block address observes its operations in program order no matter
+how the OS interleaves tenants: an address always routes to the same
+shard, and one shard's queue is FIFO.  In ``COP`` mode (the default) no
+controller state is shared *between* addresses, so the daemon's final
+per-shard contents, controller counters, memo counters and the full
+per-tenant response streams are byte-identical to replaying the same
+schedule serially, one request per batch, on a fresh replica
+(:meth:`~repro.service.shard.Shard.process_serially`).
+
+The memo-counter half of the contract additionally requires that the
+memo never evicts (seeding is counted as a miss exactly once per
+distinct content; an eviction would re-count it).  The verifier asserts
+``kernels.memo.evictions == 0`` — size ``content_versions`` /
+``blocks_per_tenant`` below the memo capacity if you grow the config.
+
+COP-ER is excluded: its ECC-region entry allocation depends on global
+cross-address order (docs/service.md).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import threading
+from array import array
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Tuple
+
+from repro.compression.base import BLOCK_BYTES
+from repro.core.controller import ProtectionMode
+from repro.obs.perf import now_ns, percentile_of
+from repro.service.protocol import Request, Response, Status
+from repro.service.server import COPService, ServiceClient, ServiceServer
+from repro.service.shard import ServiceConfig
+from repro.workloads.blocks import BlockSource
+from repro.workloads.profiles import PROFILES
+
+__all__ = [
+    "LoadReport",
+    "LoadgenConfig",
+    "run_loadgen",
+    "tenant_requests",
+]
+
+#: Default tenant content palette — mixed SPECint / SPECfp, cycled.
+TENANT_PROFILES = (
+    "gcc",
+    "lbm",
+    "mcf",
+    "milc",
+    "hmmer",
+    "soplex",
+    "libquantum",
+    "sjeng",
+)
+
+#: Tenant id bits: request id = (tenant << _ID_SHIFT) | sequence.
+_ID_SHIFT = 40
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """Shape of one deterministic load run."""
+
+    ops: int = 1_000_000
+    tenants: int = 8
+    #: Per-tenant pipelining window (requests in flight per stream).
+    window: int = 64
+    seed: int = 2015
+    #: Writable block slots per tenant (the arena reserves 2x this span;
+    #: the upper half is never written, giving deterministic read misses).
+    blocks_per_tenant: int = 2048
+    #: Distinct content versions a slot cycles through.  Keep
+    #: ``tenants * blocks_per_tenant * content_versions`` comfortably
+    #: under the per-shard memo capacity or parity loses evictions == 0.
+    content_versions: int = 4
+    write_fraction: float = 0.40
+    read_fraction: float = 0.45
+    encode_fraction: float = 0.08
+    #: Fraction of reads aimed at the never-written half of the arena.
+    miss_fraction: float = 0.01
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+
+    def __post_init__(self) -> None:
+        if self.ops < 1:
+            raise ValueError("ops must be positive")
+        if not 1 <= self.tenants <= 1 << 8:
+            raise ValueError("tenants must be in [1, 256]")
+        if self.window < 1:
+            raise ValueError("window must be positive")
+        fractions = (
+            self.write_fraction,
+            self.read_fraction,
+            self.encode_fraction,
+            self.miss_fraction,
+        )
+        if any(f < 0 for f in fractions):
+            raise ValueError("mix fractions must be non-negative")
+        if self.write_fraction + self.read_fraction + self.encode_fraction > 1:
+            raise ValueError("write+read+encode fractions must not exceed 1")
+
+    def tenant_name(self, tenant: int) -> str:
+        return f"t{tenant:02d}-{self.tenant_profile(tenant)}"
+
+    def tenant_profile(self, tenant: int) -> str:
+        return TENANT_PROFILES[tenant % len(TENANT_PROFILES)]
+
+    def tenant_base(self, tenant: int) -> int:
+        # 2x span: lower half writable, upper half the miss arena.
+        return tenant * 2 * self.blocks_per_tenant * BLOCK_BYTES
+
+    def tenant_ops(self, tenant: int) -> int:
+        base, extra = divmod(self.ops, self.tenants)
+        return base + (1 if tenant < extra else 0)
+
+
+def tenant_requests(config: LoadgenConfig, tenant: int) -> Iterator[Request]:
+    """The tenant's request stream — deterministic, regenerable at will."""
+    rng = random.Random(config.seed * 1_000_003 + 7919 * tenant + 1)
+    source = BlockSource(
+        PROFILES[config.tenant_profile(tenant)], seed=config.seed + tenant
+    )
+    name = config.tenant_name(tenant)
+    base = config.tenant_base(tenant)
+    blocks = config.blocks_per_tenant
+    versions = config.content_versions
+    #: Distinct contents are few (blocks x versions); cache generation.
+    content: Dict[Tuple[int, int], bytes] = {}
+
+    def block_of(addr: int, version: int) -> bytes:
+        key = (addr, version)
+        data = content.get(key)
+        if data is None:
+            data = content[key] = source.block(addr, version)
+        return data
+
+    next_version: Dict[int, int] = {}
+    written: List[int] = []
+    written_set: set[int] = set()
+    write_cut = config.write_fraction
+    read_cut = write_cut + config.read_fraction
+    encode_cut = read_cut + config.encode_fraction
+
+    for seq in range(config.tenant_ops(tenant)):
+        rid = (tenant << _ID_SHIFT) | seq
+        roll = rng.random()
+        if roll < write_cut or not written:
+            addr = base + rng.randrange(blocks) * BLOCK_BYTES
+            version = next_version.get(addr, 0)
+            next_version[addr] = (version + 1) % versions
+            if addr not in written_set:
+                written_set.add(addr)
+                written.append(addr)
+            yield Request(
+                "write", id=rid, addr=addr, data=block_of(addr, version),
+                tenant=name,
+            )
+        elif roll < read_cut:
+            if rng.random() < config.miss_fraction:
+                addr = base + (blocks + rng.randrange(blocks)) * BLOCK_BYTES
+            else:
+                addr = written[rng.randrange(len(written))]
+            yield Request("read", id=rid, addr=addr, tenant=name)
+        elif roll < encode_cut:
+            addr = base + rng.randrange(blocks) * BLOCK_BYTES
+            yield Request(
+                "encode", id=rid,
+                data=block_of(addr, versions + rng.randrange(versions)),
+                tenant=name,
+            )
+        else:
+            addr = base + rng.randrange(blocks) * BLOCK_BYTES
+            # A raw source block fed straight to the decoder exercises the
+            # classify-as-RAW path (few valid code words).
+            yield Request(
+                "decode", id=rid,
+                data=block_of(addr, 2 * versions + rng.randrange(versions)),
+                tenant=name,
+            )
+
+
+def interleave(config: LoadgenConfig) -> Iterator[Request]:
+    """One global order consistent with every tenant's program order."""
+    streams = [tenant_requests(config, t) for t in range(config.tenants)]
+    live = list(range(config.tenants))
+    while live:
+        still = []
+        for t in live:
+            request = next(streams[t], None)
+            if request is not None:
+                yield request
+                still.append(t)
+        live = still
+
+
+# -- per-tenant stream accounting ---------------------------------------------
+
+
+class _StreamTally:
+    """Digest + status counts + latency samples for one tenant stream."""
+
+    def __init__(self) -> None:
+        self.digest = hashlib.sha256()
+        self.statuses: Dict[str, int] = {}
+        self.latencies_us = array("d")
+
+    def record(self, response: Response, latency_us: Optional[float]) -> None:
+        self.digest.update(response.to_json().encode("utf-8"))
+        self.digest.update(b"\n")
+        key = response.status.value
+        self.statuses[key] = self.statuses.get(key, 0) + 1
+        if latency_us is not None:
+            self.latencies_us.append(latency_us)
+
+
+def _drive_inprocess(
+    service: COPService, config: LoadgenConfig, tenant: int, tally: _StreamTally
+) -> None:
+    window: "Deque[Tuple[Future[Response], int]]" = deque()
+    for request in tenant_requests(config, tenant):
+        if len(window) >= config.window:
+            future, t0 = window.popleft()
+            tally.record(future.result(), (now_ns() - t0) / 1000.0)
+        window.append((service.submit(request), now_ns()))
+    while window:
+        future, t0 = window.popleft()
+        tally.record(future.result(), (now_ns() - t0) / 1000.0)
+
+
+def _drive_tcp(
+    host: str,
+    port: int,
+    config: LoadgenConfig,
+    tenant: int,
+    tally: _StreamTally,
+) -> None:
+    sent: Deque[int] = deque()
+    with ServiceClient(host, port) as client:
+        for request in tenant_requests(config, tenant):
+            if len(sent) >= config.window:
+                tally.record(client.recv(), (now_ns() - sent.popleft()) / 1000.0)
+            sent.append(now_ns())
+            client.send(request)
+        while sent:
+            tally.record(client.recv(), (now_ns() - sent.popleft()) / 1000.0)
+
+
+# -- parity verification ------------------------------------------------------
+
+
+def _memo_counters(service: COPService) -> Dict[str, int]:
+    totals = {"hits": 0, "misses": 0, "evictions": 0}
+    for shard in service.shards:
+        for key in totals:
+            totals[key] += shard.registry.counter(f"kernels.memo.{key}").value
+    return totals
+
+
+def _contents_digests(service: COPService) -> List[str]:
+    digests = []
+    for shard in service.shards:
+        h = hashlib.sha256()
+        for addr in sorted(shard.memory.contents):
+            h.update(addr.to_bytes(8, "little"))
+            h.update(shard.memory.contents[addr])
+        digests.append(h.hexdigest())
+    return digests
+
+
+def verify_parity(
+    service: COPService, config: LoadgenConfig, tallies: List[_StreamTally]
+) -> Dict[str, object]:
+    """Replay the schedule serially on a replica; compare everything.
+
+    Returns a report fragment; raises ``AssertionError`` on any mismatch
+    (contents, controller stats, memo counters, response streams) or if
+    either side evicted from the memo.
+    """
+    if config.service.mode is ProtectionMode.COP_ER:
+        raise ValueError(
+            "parity verification is undefined for COP-ER "
+            "(region allocation is global-order dependent)"
+        )
+    if config.service.admission != "block":
+        raise ValueError("parity verification requires admission='block'")
+    replica = COPService(config.service)
+    replay_tallies = [_StreamTally() for _ in range(config.tenants)]
+    for request in interleave(config):
+        shard = replica.shards[replica.route(request)]
+        response = shard.process_serially([request])[0]
+        replay_tallies[request.id >> _ID_SHIFT].record(response, None)
+
+    live_digests = [t.digest.hexdigest() for t in tallies]
+    replay_digests = [t.digest.hexdigest() for t in replay_tallies]
+    assert live_digests == replay_digests, (
+        "per-tenant response streams diverged between the threaded daemon "
+        "and the serial replay"
+    )
+    live_contents = _contents_digests(service)
+    replay_contents = _contents_digests(replica)
+    assert live_contents == replay_contents, "per-shard contents diverged"
+    for live, other in zip(service.shards, replica.shards):
+        assert live.memory.stats.as_dict() == other.memory.stats.as_dict(), (
+            f"controller stats diverged on shard {live.index}"
+        )
+    live_memo = _memo_counters(service)
+    replay_memo = _memo_counters(replica)
+    assert live_memo == replay_memo, (
+        f"memo counters diverged: daemon {live_memo} vs replay {replay_memo}"
+    )
+    assert live_memo["evictions"] == 0, (
+        "memo evicted during the run; the counter-parity contract requires "
+        "the working set to fit (shrink blocks_per_tenant/content_versions)"
+    )
+    return {
+        "verified": True,
+        "response_digests": live_digests,
+        "contents_digests": live_contents,
+        "memo": live_memo,
+    }
+
+
+# -- reporting ----------------------------------------------------------------
+
+
+@dataclass
+class LoadReport:
+    """What one load run did and how fast it went."""
+
+    ops: int
+    tenants: int
+    shards: int
+    window: int
+    mode: str
+    admission: str
+    transport: str
+    duration_s: float
+    throughput_ops_s: float
+    latency_us: Dict[str, float]
+    statuses: Dict[str, int]
+    controller: Dict[str, int]
+    memo: Dict[str, int]
+    rejected_busy: int
+    parity: Optional[Dict[str, object]] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "schema": 1,
+            "ops": self.ops,
+            "tenants": self.tenants,
+            "shards": self.shards,
+            "window": self.window,
+            "mode": self.mode,
+            "admission": self.admission,
+            "transport": self.transport,
+            "duration_s": self.duration_s,
+            "throughput_ops_s": self.throughput_ops_s,
+            "latency_us": self.latency_us,
+            "statuses": self.statuses,
+            "controller": self.controller,
+            "memo": self.memo,
+            "rejected_busy": self.rejected_busy,
+            "parity": self.parity,
+        }
+
+    def save(self, path: Path) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.as_dict(), indent=2) + "\n")
+
+    def summary(self) -> str:
+        lat = self.latency_us
+        lines = [
+            f"service loadgen: {self.ops} ops, {self.tenants} tenants, "
+            f"{self.shards} shards, window {self.window}, "
+            f"mode {self.mode}, transport {self.transport}",
+            f"  wall {self.duration_s:.2f}s  "
+            f"throughput {self.throughput_ops_s:,.0f} ops/s",
+            f"  latency us: p50 {lat.get('p50', 0):.1f}  "
+            f"p90 {lat.get('p90', 0):.1f}  p99 {lat.get('p99', 0):.1f}  "
+            f"max {lat.get('max', 0):.1f}",
+            "  statuses: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.statuses.items())),
+            f"  memo: hits={self.memo.get('hits', 0)} "
+            f"misses={self.memo.get('misses', 0)} "
+            f"evictions={self.memo.get('evictions', 0)}  "
+            f"rejected_busy={self.rejected_busy}",
+        ]
+        if self.parity is not None:
+            lines.append("  parity: OK (serial replay byte-identical)")
+        return "\n".join(lines)
+
+
+def _collect_report(
+    config: LoadgenConfig,
+    transport: str,
+    duration_s: float,
+    tallies: List[_StreamTally],
+    service: Optional[COPService],
+    parity: Optional[Dict[str, object]],
+) -> LoadReport:
+    samples: List[float] = []
+    statuses: Dict[str, int] = {}
+    for tally in tallies:
+        samples.extend(tally.latencies_us)
+        for key, count in tally.statuses.items():
+            statuses[key] = statuses.get(key, 0) + count
+    latency = {
+        "p50": percentile_of(samples, 50.0),
+        "p90": percentile_of(samples, 90.0),
+        "p99": percentile_of(samples, 99.0),
+        "mean": (sum(samples) / len(samples)) if samples else 0.0,
+        "max": max(samples) if samples else 0.0,
+    }
+    controller: Dict[str, int] = {}
+    memo = {"hits": 0, "misses": 0, "evictions": 0}
+    rejected = 0
+    if service is not None:
+        controller = service.merged_stats().as_dict()
+        memo = _memo_counters(service)
+        for shard in service.shards:
+            rejected += shard.registry.counter(
+                f"{shard.prefix}.rejected_busy"
+            ).value
+    return LoadReport(
+        ops=config.ops,
+        tenants=config.tenants,
+        shards=config.service.shards,
+        window=config.window,
+        mode=config.service.mode.value,
+        admission=config.service.admission,
+        transport=transport,
+        duration_s=duration_s,
+        throughput_ops_s=config.ops / duration_s if duration_s > 0 else 0.0,
+        latency_us=latency,
+        statuses=statuses,
+        controller=controller,
+        memo=memo,
+        rejected_busy=rejected,
+        parity=parity,
+    )
+
+
+def run_loadgen(
+    config: LoadgenConfig,
+    connect: Optional[Tuple[str, int]] = None,
+    with_server: bool = False,
+    verify: bool = False,
+) -> LoadReport:
+    """Drive the configured load and (optionally) verify serial parity.
+
+    Three transports:
+
+    * default — in-process :class:`COPService` (the fast path; the 1M-op
+      acceptance run uses this),
+    * ``with_server=True`` — spin a real TCP daemon on an ephemeral port
+      and drive it over sockets (the CI smoke path),
+    * ``connect=(host, port)`` — drive an external daemon (no parity:
+      its shards aren't reachable for inspection).
+    """
+    if verify and connect is not None:
+        raise ValueError("--verify needs in-process shard access; drop --connect")
+    tallies = [_StreamTally() for _ in range(config.tenants)]
+
+    def run_threads(target: Callable[..., None], *args: object) -> float:
+        threads = [
+            threading.Thread(
+                target=target,
+                args=(*args, tenant, tallies[tenant]),
+                name=f"loadgen-t{tenant}",
+            )
+            for tenant in range(config.tenants)
+        ]
+        t0 = now_ns()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return (now_ns() - t0) / 1e9
+
+    if connect is not None:
+        host, port = connect
+        duration = run_threads(_drive_tcp, host, port, config)
+        return _collect_report(config, "tcp", duration, tallies, None, None)
+
+    if with_server:
+        server = ServiceServer(COPService(config.service))
+        server.start()
+        try:
+            host, port = server.server_address[0], server.server_address[1]
+            duration = run_threads(_drive_tcp, host, port, config)
+        finally:
+            # Every response is in (the drivers drained their windows),
+            # so the queues are empty; this joins workers and frees the
+            # socket while the shard state stays inspectable.
+            server.shutdown_service()
+        service = server.service
+        parity = verify_parity(service, config, tallies) if verify else None
+        return _collect_report(
+            config, "tcp+server", duration, tallies, service, parity
+        )
+
+    service = COPService(config.service)
+    service.start()
+    try:
+        duration = run_threads(_drive_inprocess, service, config)
+    finally:
+        service.stop()
+    parity = verify_parity(service, config, tallies) if verify else None
+    return _collect_report(config, "inprocess", duration, tallies, service, parity)

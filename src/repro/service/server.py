@@ -1,0 +1,285 @@
+"""The COP service daemon: sharded facade + TCP JSON-lines front end.
+
+:class:`COPService` is the in-process facade: it owns ``config.shards``
+:class:`~repro.service.shard.Shard` workers and routes each request to
+its deterministic home shard (address-hash for ``read``/``write``,
+content-hash for the stateless ``encode``/``decode``).  The loadgen and
+the tests drive it directly; :class:`ServiceServer` wraps it in a
+threaded TCP server speaking the newline-delimited JSON protocol of
+:mod:`repro.service.protocol`.
+
+Each client connection gets a reader (the handler thread) and a writer
+thread joined by an in-order future queue, so clients may pipeline many
+requests on one socket — responses always come back in request order,
+while the shards batch whatever is in flight.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import socketserver
+import threading
+from concurrent.futures import Future
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.controller import ControllerStats
+from repro.obs.metrics import MetricsRegistry
+from repro.service.protocol import (
+    ProtocolError,
+    Request,
+    Response,
+    Status,
+)
+from repro.service.shard import (
+    ServiceConfig,
+    Shard,
+    shard_of_addr,
+    shard_of_data,
+)
+
+__all__ = ["COPService", "ServiceClient", "ServiceServer", "parse_host_port"]
+
+
+class COPService:
+    """In-process sharded service: route, submit, merge."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.shards = [Shard(i, self.config) for i in range(self.config.shards)]
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("service already started")
+        for shard in self.shards:
+            shard.start()
+        self._started = True
+
+    def stop(self) -> None:
+        """Drain every shard queue and stop the workers (idempotent)."""
+        for shard in self.shards:
+            shard.stop()
+        self._started = False
+
+    def __enter__(self) -> "COPService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- routing -------------------------------------------------------------
+
+    def route(self, request: Request) -> int:
+        """Home shard of a request (deterministic across processes)."""
+        if request.op in ("write", "read") and request.addr is not None:
+            return shard_of_addr(request.addr, self.config.shards)
+        if request.op in ("encode", "decode") and request.data is not None:
+            return shard_of_data(request.data, self.config.shards)
+        # Pings (and malformed requests, which the shard will reject with
+        # a typed status) spread round-robin by request id.
+        return request.id % self.config.shards
+
+    def submit(self, request: Request) -> "Future[Response]":
+        if request.op == "stats":
+            done: "Future[Response]" = Future()
+            done.set_result(self.stats_response(request))
+            return done
+        return self.shards[self.route(request)].submit(request)
+
+    def call(self, request: Request) -> Response:
+        return self.submit(request).result()
+
+    # -- aggregation ----------------------------------------------------------
+
+    def merged_stats(self) -> ControllerStats:
+        """Controller counters accumulated across shards in shard order."""
+        merged = ControllerStats()
+        for shard in self.shards:
+            merged.merge(shard.memory.stats)
+        return merged
+
+    def merged_registry(self) -> MetricsRegistry:
+        """One registry holding every shard's metrics, merged in shard order."""
+        merged = MetricsRegistry()
+        for shard in self.shards:
+            merged.merge(shard.registry)
+        return merged
+
+    def stats_response(self, request: Request) -> Response:
+        snapshot = self.merged_registry().snapshot()
+        payload: Dict[str, Any] = {
+            "shards": self.config.shards,
+            "mode": self.config.mode.value,
+            "controller": self.merged_stats().as_dict(),
+            "counters": snapshot.get("counters", {}),
+        }
+        return Response(id=request.id, status=Status.OK, payload=payload)
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One client connection: in-order pipelined request/response stream."""
+
+    server: "ServiceServer"
+
+    def handle(self) -> None:
+        pending: "queue.Queue[Optional[Future[Response]]]" = queue.Queue()
+        writer = threading.Thread(
+            target=self._write_loop, args=(pending,), daemon=True
+        )
+        writer.start()
+        try:
+            for raw in self.rfile:
+                line = raw.decode("utf-8", errors="replace").strip()
+                if not line:
+                    continue
+                pending.put(self._submit_line(line))
+        finally:
+            pending.put(None)
+            writer.join()
+
+    def _submit_line(self, line: str) -> "Future[Response]":
+        try:
+            request = Request.from_json(line)
+        except ProtocolError as exc:
+            done: "Future[Response]" = Future()
+            done.set_result(
+                Response(id=0, status=Status.BAD_REQUEST, error=str(exc))
+            )
+            return done
+        return self.server.service.submit(request)
+
+    def _write_loop(
+        self, pending: "queue.Queue[Optional[Future[Response]]]"
+    ) -> None:
+        while True:
+            future = pending.get()
+            if future is None:
+                return
+            response = future.result()
+            try:
+                self.wfile.write(response.to_json().encode("utf-8") + b"\n")
+            except (OSError, ValueError):
+                # Client went away mid-stream; drain remaining futures so
+                # shard workers aren't left with unread results.
+                continue
+
+
+class ServiceServer(socketserver.ThreadingTCPServer):
+    """Threaded TCP front end bound to an in-process :class:`COPService`.
+
+    ``port=0`` binds an ephemeral port; read the bound address back from
+    ``server_address``.  Use :meth:`start`/:meth:`shutdown_service` (or
+    the context manager) rather than ``serve_forever`` directly so the
+    backing shards start and stop with the socket.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: Optional[COPService] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service or COPService()
+        super().__init__((host, port), _Handler)
+        self._serve_thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        """Start the shards and serve connections on a background thread."""
+        self.service.start()
+        self._serve_thread = threading.Thread(
+            target=self.serve_forever, name="cop-service-accept", daemon=True
+        )
+        self._serve_thread.start()
+
+    def wait(self, timeout: Optional[float] = None) -> None:
+        """Block until the accept loop exits (or the timeout elapses)."""
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout)
+
+    def shutdown_service(self) -> None:
+        """Stop accepting, drain the shards, release the socket."""
+        self.shutdown()
+        if self._serve_thread is not None:
+            self._serve_thread.join()
+            self._serve_thread = None
+        self.service.stop()
+        self.server_close()
+
+    def __enter__(self) -> "ServiceServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown_service()
+
+
+class ServiceClient:
+    """Minimal blocking JSON-lines client with windowed pipelining."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._lock = threading.Lock()
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def send(self, request: Request) -> None:
+        self._sock.sendall(request.to_json().encode("utf-8") + b"\n")
+
+    def recv(self) -> Response:
+        line = self._rfile.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return Response.from_json(line.decode("utf-8"))
+
+    def call(self, request: Request) -> Response:
+        with self._lock:
+            self.send(request)
+            return self.recv()
+
+    def call_pipelined(
+        self, requests: List[Request], window: int = 32
+    ) -> List[Response]:
+        """Drive requests with at most ``window`` in flight; ordered results."""
+        if window < 1:
+            raise ValueError("window must be positive")
+        responses: List[Response] = []
+        with self._lock:
+            in_flight = 0
+            for request in requests:
+                if in_flight >= window:
+                    responses.append(self.recv())
+                    in_flight -= 1
+                self.send(request)
+                in_flight += 1
+            for _ in range(in_flight):
+                responses.append(self.recv())
+        return responses
+
+
+def parse_host_port(spec: str, default_port: int = 7457) -> Tuple[str, int]:
+    """Parse ``host``, ``host:port`` or ``:port`` loadgen --connect specs."""
+    host, _, port_text = spec.rpartition(":")
+    if not host:
+        return (port_text or "127.0.0.1", default_port)
+    try:
+        return (host, int(port_text))
+    except ValueError:
+        raise ValueError(f"bad host:port spec {spec!r}") from None

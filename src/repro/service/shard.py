@@ -1,0 +1,559 @@
+"""One shard of the COP service: a single-owner worker over a bounded queue.
+
+Each shard owns a :class:`~repro.core.controller.ProtectedMemory` (and,
+through it, a :class:`~repro.kernels.MemoizedCodec`), a
+:class:`~repro.kernels.BatchCodec` for batch prewarming, and a private
+:class:`~repro.obs.metrics.MetricsRegistry`.  All controller state is
+touched by exactly one worker thread; callers only interact with the
+bounded request queue, so the controller itself needs no locking.
+
+Micro-batching
+--------------
+
+The worker drains up to ``batch_max`` queued requests at a time and runs
+a *prewarm* pass before executing them one by one: every codec result
+the batch will need (encodes for writes, codeword counts for the alias
+checks those writes trigger, decodes for reads) is computed in one
+``BatchCodec`` array pass and seeded into the shard's ``MemoizedCodec``.
+Execution then services each request in arrival order through the plain
+scalar library path — and hits the memo on every codec call.
+
+Seeding counts a memo miss (see ``MemoizedCodec`` in docs/kernels.md),
+so the counters are independent of where batch boundaries fall: misses
+equal the number of distinct contents, hits equal the number of codec
+calls, exactly what replaying the same per-shard request sequence one
+request at a time produces.  This is the invariant the parity suite
+checks (threaded daemon vs. serial replay), and it holds provided the
+memo never evicts — size the memo above the working set (the load
+generator asserts ``kernels.memo.evictions == 0``).
+
+Prewarm simulates the batch's writes on a content overlay so that a read
+of an address written *earlier in the same batch* still prewarms against
+the exact stored image that write will install (including alias-rejected
+writes, which install nothing).
+
+Prewarm runs only in ``COP`` mode.  The other codec-backed modes
+(COP-ER, MemZip) execute scalar through the memo — still correct, and
+still batch-boundary independent, just not vectorised.  COP-ER is
+additionally excluded from the cross-thread parity contract because its
+ECC-region entry indices depend on the global allocation order, which
+thread interleaving perturbs (docs/service.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue
+import threading
+import zlib
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.compression.base import BLOCK_BYTES
+from repro.core.codec import EncodedBlock
+from repro.core.config import COPConfig
+from repro.core.controller import (
+    BlockNotWrittenError,
+    ProtectedMemory,
+    ProtectionMode,
+)
+from repro.kernels import BatchCodec, MemoizedCodec, blocks_to_array
+from repro.obs import Observability
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.perf import now_ns
+from repro.service.protocol import (
+    Request,
+    Response,
+    Status,
+    check_addr,
+    check_payload,
+)
+
+__all__ = [
+    "ServiceConfig",
+    "Shard",
+    "shard_of_addr",
+    "shard_of_data",
+]
+
+
+def _default_cop_config() -> COPConfig:
+    # The service exists to exercise the batch kernels; default the codec
+    # to the memoised path (callers may still hand in a scalar config).
+    return dataclasses.replace(COPConfig.four_byte(), use_batch=True)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Configuration shared by the daemon, its shards and the loadgen."""
+
+    shards: int = 4
+    mode: ProtectionMode = ProtectionMode.COP
+    cop: COPConfig = field(default_factory=_default_cop_config)
+    #: Largest number of requests one worker drain executes as a batch.
+    batch_max: int = 64
+    #: Bounded per-shard queue depth (the backpressure knob).
+    queue_depth: int = 1024
+    #: ``block`` parks callers on a full queue; ``reject`` answers BUSY.
+    admission: str = "block"
+    capacity_bytes: int = 8 << 30
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be positive")
+        if self.batch_max < 1:
+            raise ValueError("batch_max must be positive")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be positive")
+        if self.admission not in ("block", "reject"):
+            raise ValueError(
+                f"admission must be 'block' or 'reject', got {self.admission!r}"
+            )
+
+
+_GOLDEN = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+def shard_of_addr(addr: int, shards: int) -> int:
+    """Deterministic shard index for an addressed (read/write) request.
+
+    Fibonacci-hash the block number so that dense per-tenant address
+    ranges spread across shards instead of striping coarsely.  Must be
+    deterministic across processes — routing is part of the parity
+    contract (the serial replay re-derives the same shard per op).
+    """
+    h = ((addr >> 6) * _GOLDEN) & _MASK64
+    return (h >> 32) % shards
+
+
+def shard_of_data(data: bytes, shards: int) -> int:
+    """Deterministic shard index for a stateless (encode/decode) request.
+
+    ``zlib.crc32`` rather than ``hash()``: the builtin string hash is
+    salted per process, which would break cross-process replay.
+    """
+    return zlib.crc32(data) % shards
+
+
+class _Stop:
+    """Queue sentinel asking the worker to finish up and exit."""
+
+
+_STOP = _Stop()
+
+
+@dataclass
+class _Work:
+    """One queued request plus its completion plumbing."""
+
+    request: Request
+    future: "Future[Response]"
+    enqueue_ns: int
+
+
+class Shard:
+    """Single-owner worker thread servicing one slice of the address space."""
+
+    def __init__(self, index: int, config: ServiceConfig) -> None:
+        self.index = index
+        self.config = config
+        self.registry = MetricsRegistry()
+        self.memory = ProtectedMemory(
+            mode=config.mode,
+            config=config.cop,
+            capacity_bytes=config.capacity_bytes,
+            obs=Observability(metrics=self.registry),
+        )
+        self.batch: Optional[BatchCodec] = None
+        if isinstance(self.memory.codec, MemoizedCodec):
+            self.batch = BatchCodec(self.memory.codec.codec)
+        self._queue: "queue.Queue[Union[_Work, _Stop]]" = queue.Queue(
+            maxsize=config.queue_depth
+        )
+        self._stopping = False
+        self._thread: Optional[threading.Thread] = None
+
+        # Worker-owned counters (single writer: the shard thread) except
+        # rejected_busy, which caller threads bump under _reject_lock.
+        prefix = f"service.shard.{index}"
+        self.prefix = prefix
+        self._c_requests = self.registry.counter(f"{prefix}.requests")
+        self._c_batches = self.registry.counter(f"{prefix}.batches")
+        self._c_writes = self.registry.counter(f"{prefix}.writes")
+        self._c_reads = self.registry.counter(f"{prefix}.reads")
+        self._c_encodes = self.registry.counter(f"{prefix}.encodes")
+        self._c_decodes = self.registry.counter(f"{prefix}.decodes")
+        self._c_pings = self.registry.counter(f"{prefix}.pings")
+        self._c_not_written = self.registry.counter(f"{prefix}.not_written")
+        self._c_alias_rejects = self.registry.counter(f"{prefix}.alias_rejects")
+        self._c_bad_requests = self.registry.counter(f"{prefix}.bad_requests")
+        self._c_errors = self.registry.counter(f"{prefix}.errors")
+        self._c_rejected = self.registry.counter(f"{prefix}.rejected_busy")
+        self._reject_lock = threading.Lock()
+        self._h_latency = self.registry.histogram(f"{prefix}.latency_us")
+        self._h_batch = self.registry.histogram(f"{prefix}.batch_blocks")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError(f"shard {self.index} already started")
+        self._thread = threading.Thread(
+            target=self._run, name=f"cop-shard-{self.index}", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Finish queued work, then stop the worker (idempotent)."""
+        self._stopping = True
+        if self._thread is None:
+            self._drain_shutdown()
+            return
+        self._queue.put(_STOP)
+        self._thread.join()
+        self._thread = None
+        # A submitter racing stop() may have enqueued behind the sentinel
+        # after the worker exited; fail its work explicitly.
+        self._drain_shutdown()
+
+    # -- submission (caller threads) -----------------------------------------
+
+    def submit(self, request: Request) -> "Future[Response]":
+        """Enqueue a request; the future resolves when the worker answers."""
+        future: "Future[Response]" = Future()
+        if self._stopping:
+            future.set_result(
+                Response(id=request.id, status=Status.SHUTDOWN, error="stopping")
+            )
+            return future
+        work = _Work(request=request, future=future, enqueue_ns=now_ns())
+        if self.config.admission == "reject":
+            try:
+                self._queue.put_nowait(work)
+            except queue.Full:
+                with self._reject_lock:
+                    self._c_rejected.inc()
+                future.set_result(
+                    Response(
+                        id=request.id,
+                        status=Status.BUSY,
+                        error=f"shard {self.index} queue full",
+                    )
+                )
+        else:
+            self._queue.put(work)
+        return future
+
+    def call(self, request: Request) -> Response:
+        """Submit and wait."""
+        return self.submit(request).result()
+
+    # -- worker loop (shard thread) ------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if isinstance(item, _Stop):
+                self._drain_shutdown()
+                return
+            batch = [item]
+            stop_after = False
+            while len(batch) < self.config.batch_max:
+                try:
+                    nxt = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if isinstance(nxt, _Stop):
+                    stop_after = True
+                    break
+                batch.append(nxt)
+            self._process(batch)
+            if stop_after:
+                self._drain_shutdown()
+                return
+
+    def _drain_shutdown(self) -> None:
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if isinstance(item, _Stop):
+                continue
+            item.future.set_result(
+                Response(
+                    id=item.request.id, status=Status.SHUTDOWN, error="stopping"
+                )
+            )
+
+    def process_serially(self, requests: List[Request]) -> List[Response]:
+        """Execute requests one per batch on the calling thread.
+
+        The serial-replay half of the parity contract: same shard, same
+        prewarm/seed/execute pipeline, batch size pinned to 1.  Only
+        valid before :meth:`start` or after :meth:`stop`.
+        """
+        if self._thread is not None:
+            raise RuntimeError("shard worker is running; use submit()")
+        out: List[Response] = []
+        for request in requests:
+            work = _Work(request=request, future=Future(), enqueue_ns=now_ns())
+            self._process([work])
+            out.append(work.future.result())
+        return out
+
+    def _process(self, batch: List[_Work]) -> None:
+        self._c_batches.inc()
+        self._h_batch.observe(float(len(batch)))
+        self._prewarm(batch)
+        for item in batch:
+            response = self._execute(item.request)
+            self._c_requests.inc()
+            self._h_latency.observe((now_ns() - item.enqueue_ns) / 1000.0)
+            if item.request.tenant:
+                self.registry.inc(
+                    f"{self.prefix}.tenant.{item.request.tenant}.requests"
+                )
+            item.future.set_result(response)
+
+    # -- batch prewarm --------------------------------------------------------
+
+    def _prewarm(self, batch: List[_Work]) -> None:
+        """Seed the memo with every codec result this batch will consult.
+
+        COP mode only; see the module docstring for the counter-parity
+        argument.  Every seeded entry corresponds to a codec call the
+        execution pass definitely makes, so seeding here (miss) plus
+        hitting there reproduces the serial hit/miss totals.
+        """
+        codec = self.memory.codec
+        if (
+            self.config.mode is not ProtectionMode.COP
+            or not isinstance(codec, MemoizedCodec)
+            or self.batch is None
+        ):
+            return
+        threshold = codec.config.codeword_threshold
+
+        def wants_encode(request: Request) -> bool:
+            return (
+                request.op in ("write", "encode")
+                and request.data is not None
+                and len(request.data) == BLOCK_BYTES
+            )
+
+        # Pass 1: batch-encode every distinct uncached write/encode payload.
+        encode_missing: Dict[bytes, None] = {}
+        for item in batch:
+            if wants_encode(item.request):
+                key = bytes(item.request.data)  # type: ignore[arg-type]
+                if key not in encode_missing and codec.peek_encode(key) is None:
+                    encode_missing[key] = None
+        fresh: Dict[bytes, EncodedBlock] = {}
+        if encode_missing:
+            stored, compressed = self.batch.encode_many(
+                blocks_to_array(list(encode_missing))
+            )
+            for row, key in enumerate(encode_missing):
+                encoded = EncodedBlock(stored[row].tobytes(), bool(compressed[row]))
+                fresh[key] = encoded
+                codec.seed_encode(key, encoded)
+
+        # Pass 2: batch codeword counts for the alias checks incompressible
+        # writes will trigger (the controller calls is_alias only on them).
+        count_missing: Dict[bytes, None] = {}
+        for item in batch:
+            request = item.request
+            if request.op != "write" or not wants_encode(request):
+                continue
+            key = bytes(request.data)  # type: ignore[arg-type]
+            encoded_opt = fresh.get(key) or codec.peek_encode(key)
+            if (
+                encoded_opt is not None
+                and not encoded_opt.compressed
+                and key not in count_missing
+                and codec.peek_count(key) is None
+            ):
+                count_missing[key] = None
+        if count_missing:
+            counts = self.batch.codeword_count_many(
+                blocks_to_array(list(count_missing))
+            )
+            for row, key in enumerate(count_missing):
+                codec.seed_count(key, int(counts[row]))
+
+        # Pass 3: walk the batch in arrival order simulating contents on an
+        # overlay, so reads of addresses written earlier in this batch
+        # prewarm against the stored image that write will install.
+        overlay: Dict[int, Optional[bytes]] = {}
+        decode_missing: Dict[bytes, None] = {}
+
+        def note_decode(stored_image: bytes) -> None:
+            if (
+                stored_image not in decode_missing
+                and codec.peek_decode(stored_image) is None
+            ):
+                decode_missing[stored_image] = None
+
+        for item in batch:
+            request = item.request
+            if request.op == "write" and wants_encode(request):
+                addr = request.addr
+                if (
+                    addr is None
+                    or check_addr(addr, self.memory.region_base) is not None
+                ):
+                    continue
+                key = bytes(request.data)  # type: ignore[arg-type]
+                encoded_opt = fresh.get(key) or codec.peek_encode(key)
+                if encoded_opt is None:  # pragma: no cover - pass 1 covers it
+                    continue
+                if encoded_opt.compressed:
+                    overlay[addr] = encoded_opt.stored
+                else:
+                    count_opt = codec.peek_count(key)
+                    aliased = count_opt is not None and count_opt >= threshold
+                    if not aliased:
+                        # Raw COP store: the bytes land as-is.
+                        overlay[addr] = key
+            elif request.op == "read":
+                addr = request.addr
+                if (
+                    addr is None
+                    or check_addr(addr, self.memory.region_base) is not None
+                ):
+                    continue
+                stored_now = overlay.get(addr, self.memory.contents.get(addr))
+                if stored_now is not None:
+                    note_decode(stored_now)
+            elif (
+                request.op == "decode"
+                and request.data is not None
+                and len(request.data) == BLOCK_BYTES
+            ):
+                note_decode(bytes(request.data))
+        if decode_missing:
+            decoded = self.batch.decode_many(
+                blocks_to_array(list(decode_missing))
+            )
+            for row, key in enumerate(decode_missing):
+                codec.seed_decode(key, decoded[row])
+
+    # -- execution ------------------------------------------------------------
+
+    def _execute(self, request: Request) -> Response:
+        try:
+            return self._dispatch(request)
+        except Exception as exc:
+            # Typed statuses cover the expected failures; anything else is
+            # a server bug — count it (REP006) and answer INTERNAL rather
+            # than killing the worker.
+            self._c_errors.inc()
+            return Response(
+                id=request.id,
+                status=Status.INTERNAL,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+
+    def _bad(self, request: Request, why: str) -> Response:
+        self._c_bad_requests.inc()
+        return Response(id=request.id, status=Status.BAD_REQUEST, error=why)
+
+    def _dispatch(self, request: Request) -> Response:
+        op = request.op
+        if op == "ping":
+            self._c_pings.inc()
+            return Response(id=request.id, status=Status.OK)
+
+        if op == "write":
+            error = check_addr(
+                request.addr, self.memory.region_base
+            ) or check_payload(request.data)
+            if error is not None:
+                return self._bad(request, error)
+            assert request.addr is not None and request.data is not None
+            self._c_writes.inc()
+            result = self.memory.write(request.addr, request.data)
+            if not result.accepted:
+                self._c_alias_rejects.inc()
+                return Response(
+                    id=request.id,
+                    status=Status.ALIAS_REJECT,
+                    error="incompressible alias block; keep the line pinned",
+                )
+            return Response(
+                id=request.id,
+                status=Status.OK,
+                compressed=result.compressed,
+                was_uncompressed=result.was_uncompressed,
+            )
+
+        if op == "read":
+            error = check_addr(request.addr, self.memory.region_base)
+            if error is not None:
+                return self._bad(request, error)
+            assert request.addr is not None
+            self._c_reads.inc()
+            try:
+                result = self.memory.read(request.addr)
+            except BlockNotWrittenError as exc:
+                self._c_not_written.inc()
+                return Response(
+                    id=request.id, status=Status.NOT_WRITTEN, error=str(exc)
+                )
+            return Response(
+                id=request.id,
+                status=Status.OK,
+                data=result.data,
+                compressed=result.compressed,
+                was_uncompressed=result.was_uncompressed,
+                corrected=result.corrected,
+                uncorrectable=result.uncorrectable,
+            )
+
+        if op == "encode":
+            error = check_payload(request.data)
+            if error is not None:
+                return self._bad(request, error)
+            codec = self.memory.codec
+            if codec is None:
+                return self._bad(
+                    request, f"mode {self.config.mode.value} has no codec"
+                )
+            assert request.data is not None
+            self._c_encodes.inc()
+            encoded = codec.encode(request.data)
+            return Response(
+                id=request.id,
+                status=Status.OK,
+                data=encoded.stored,
+                compressed=encoded.compressed,
+            )
+
+        if op == "decode":
+            error = check_payload(request.data)
+            if error is not None:
+                return self._bad(request, error)
+            codec = self.memory.codec
+            if codec is None:
+                return self._bad(
+                    request, f"mode {self.config.mode.value} has no codec"
+                )
+            assert request.data is not None
+            self._c_decodes.inc()
+            decoded = codec.decode(request.data)
+            return Response(
+                id=request.id,
+                status=Status.OK,
+                data=decoded.data,
+                compressed=decoded.is_compressed,
+                corrected=decoded.corrected_words > 0,
+                uncorrectable=decoded.uncorrectable,
+                valid_codewords=decoded.valid_codewords,
+            )
+
+        # "stats" is answered by the front end; reaching a shard means the
+        # caller bypassed it.
+        return self._bad(request, f"op {op!r} is not served by shards")

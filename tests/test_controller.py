@@ -5,7 +5,12 @@ import random
 import pytest
 
 from repro.core.config import COPConfig
-from repro.core.controller import ProtectedMemory, ProtectionMode
+from repro.core.controller import (
+    BlockNotWrittenError,
+    ControllerStats,
+    ProtectedMemory,
+    ProtectionMode,
+)
 
 
 @pytest.fixture
@@ -221,3 +226,69 @@ class TestEightByteVariant:
         memory.flip_bit(0, 17)
         result = memory.read(0)
         assert result.data == block and result.corrected
+
+
+class TestBlockNotWritten:
+    """Typed read-miss error + counter (service bugfix sweep)."""
+
+    def test_typed_error_is_a_keyerror(self):
+        memory = ProtectedMemory(ProtectionMode.COP)
+        with pytest.raises(BlockNotWrittenError) as excinfo:
+            memory.read(0x1340)
+        # Still a KeyError, so pre-existing callers keep working.
+        assert isinstance(excinfo.value, KeyError)
+        assert excinfo.value.addr == 0x1340
+        assert "0x1340" in str(excinfo.value)
+
+    def test_read_misses_counted_and_reported(self, text_block):
+        memory = ProtectedMemory(ProtectionMode.COP)
+        memory.write(0, text_block)
+        for addr in (64, 128, 64):
+            with pytest.raises(BlockNotWrittenError):
+                memory.read(addr)
+        assert memory.stats.read_misses == 3
+        assert memory.stats.reads == 0  # misses are not successful reads
+        assert memory.stats.as_dict()["read_misses"] == 3
+
+    def test_read_misses_survive_merge(self):
+        left, right = ControllerStats(read_misses=2), ControllerStats(read_misses=5)
+        assert left.merge(right).read_misses == 7
+
+    def test_flip_bit_raises_typed_error_without_counting(self):
+        memory = ProtectedMemory(ProtectionMode.COP)
+        with pytest.raises(BlockNotWrittenError):
+            memory.flip_bit(64, 0)
+        # The harness hook is not demand traffic; no read_misses charge.
+        assert memory.stats.read_misses == 0
+
+
+class TestDecompressLatencyModel:
+    """Only decompression pays decompress cycles (service bugfix sweep).
+
+    docs/architecture.md ("Life of a read"): a compressed block charges
+    the +4-cycle decompressor; a raw COP block passes to the cache
+    untouched.  The COP-ER raw path, by contrast, does real decode work
+    (pointer extraction, whole-block correction, reassembly) and keeps
+    charging the pipeline latency.
+    """
+
+    def test_cop_compressed_read_charges_latency(self, text_block):
+        memory = ProtectedMemory(ProtectionMode.COP)
+        memory.write(0, text_block)
+        result = memory.read(0)
+        assert result.compressed
+        assert result.decompress_cycles == memory.config.decompress_latency
+
+    def test_cop_raw_read_charges_no_latency(self, noise):
+        memory = ProtectedMemory(ProtectionMode.COP)
+        memory.write(0, noise)
+        result = memory.read(0)
+        assert result.was_uncompressed
+        assert result.decompress_cycles == 0
+
+    def test_coper_raw_read_still_charges_latency(self, noise):
+        memory = ProtectedMemory(ProtectionMode.COP_ER)
+        memory.write(0, noise)
+        result = memory.read(0)
+        assert result.was_uncompressed
+        assert result.decompress_cycles == memory.config.decompress_latency

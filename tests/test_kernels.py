@@ -261,6 +261,39 @@ class TestMemoizedCodec:
         with pytest.raises(ValueError):
             MemoizedCodec(max_entries=0)
 
+    def test_seed_and_peek_semantics(self):
+        registry = MetricsRegistry()
+        codec = COPCodec()
+        memo = MemoizedCodec(codec, metrics=registry)
+        block = b"seed me once, hit me forever".ljust(64, b"!")
+        encoded = codec.encode(block)
+        assert memo.peek_encode(block) is None  # peeks are counter-free
+        assert not memo.has_encode(block)
+        memo.seed_encode(block, encoded)  # a seed counts one miss
+        memo.seed_encode(block, encoded)  # re-seeding a present key: no-op
+        assert memo.has_encode(block)
+        assert memo.peek_encode(block) == encoded
+        counters = registry.snapshot()["counters"]
+        assert counters["kernels.memo.misses"] == 1
+        assert counters.get("kernels.memo.hits", 0) == 0
+        assert memo.encode(block) == encoded  # the in-place op now hits
+        assert registry.snapshot()["counters"]["kernels.memo.hits"] == 1
+        # decode/count seeding mirrors encode
+        memo.seed_decode(block, codec.decode(block))
+        memo.seed_count(block, codec.codeword_count(block))
+        assert memo.decode(block) == codec.decode(block)
+        assert memo.codeword_count(block) == codec.codeword_count(block)
+
+    def test_seed_respects_capacity(self):
+        registry = MetricsRegistry()
+        memo = MemoizedCodec(max_entries=2, metrics=registry)
+        rng = random.Random(11)
+        blocks = [rng.randbytes(64) for _ in range(4)]
+        for block in blocks:
+            memo.seed_count(block, 0)
+        assert memo.cache_sizes["codeword_count"] == 2
+        assert registry.snapshot()["counters"]["kernels.memo.evictions"] == 2
+
     def test_controller_use_batch_is_bit_identical(self):
         from repro.core.controller import ProtectedMemory, ProtectionMode
         from repro.experiments.common import sample_blocks
@@ -341,3 +374,101 @@ class TestPickleSafety:
         expected = batch.decode_many(arr)
         clone = pickle.loads(pickle.dumps(codec))
         assert BatchCodec(clone).decode_many(arr) == expected
+
+    def test_memoized_codec_pickles_without_its_lock(self):
+        memo = MemoizedCodec()
+        block = b"x" * 64
+        memo.codeword_count(block)
+        clone = pickle.loads(pickle.dumps(memo))
+        # The clone minted a fresh lock and kept its cached entries.
+        assert clone.peek_count(block) == memo.peek_count(block)
+        assert clone._lock is not memo._lock
+        clone.codeword_count(b"y" * 64)  # usable after unpickling
+
+
+class TestMemoizedCodecThreads:
+    """Regression for the unsynchronised FIFO memo (service bugfix sweep).
+
+    Before the lock, concurrent size-check/evict/insert sequences could
+    corrupt the FIFO dicts and drop counter updates; these tests hammer
+    one shared instance and assert the bookkeeping invariants that the
+    service's parity contract builds on.
+    """
+
+    CORPUS = 48
+    THREADS = 8
+    OPS = 400
+
+    def _hammer(self, memo, seed):
+        rng = random.Random(seed)
+        blocks = [random.Random(77).randbytes(64) for _ in range(self.CORPUS)]
+        lookups = 0
+        for _ in range(self.OPS):
+            block = blocks[rng.randrange(len(blocks))]
+            op = rng.randrange(3)
+            if op == 0:
+                memo.encode(block)
+            elif op == 1:
+                memo.decode(block)
+            else:
+                memo.codeword_count(block)
+            lookups += 1
+        return lookups
+
+    def _run_threads(self, memo):
+        import threading
+
+        totals = []
+        lock = threading.Lock()
+
+        def worker(seed):
+            count = self._hammer(memo, seed)
+            with lock:
+                totals.append(count)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,))
+            for seed in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(totals) == self.THREADS
+        return sum(totals)
+
+    def test_counters_and_contents_consistent_unbounded(self):
+        registry = MetricsRegistry()
+        codec = COPCodec()
+        memo = MemoizedCodec(codec, metrics=registry)
+        lookups = self._run_threads(memo)
+        counters = registry.snapshot()["counters"]
+        hits = counters.get("kernels.memo.hits", 0)
+        misses = counters.get("kernels.memo.misses", 0)
+        evictions = counters.get("kernels.memo.evictions", 0)
+        # Every lookup is exactly one hit or one miss.
+        assert hits + misses == lookups
+        # No evictions => misses is exactly the number of live entries,
+        # i.e. each distinct content was computed exactly once.
+        assert evictions == 0
+        assert misses == sum(memo.cache_sizes.values())
+        # Cached values are the scalar codec's, bit for bit.
+        reference = COPCodec()
+        for block, value in list(memo._encode_cache.items()):
+            assert value == reference.encode(block)
+        for block, value in list(memo._count_cache.items()):
+            assert value == reference.codeword_count(block)
+
+    def test_counters_consistent_under_eviction_pressure(self):
+        registry = MetricsRegistry()
+        memo = MemoizedCodec(max_entries=8, metrics=registry)
+        lookups = self._run_threads(memo)
+        counters = registry.snapshot()["counters"]
+        hits = counters.get("kernels.memo.hits", 0)
+        misses = counters.get("kernels.memo.misses", 0)
+        evictions = counters.get("kernels.memo.evictions", 0)
+        assert hits + misses == lookups
+        # Each miss either still lives in a cache or was evicted.
+        assert misses == evictions + sum(memo.cache_sizes.values())
+        # The FIFO bound held under contention.
+        assert all(size <= 8 for size in memo.cache_sizes.values())
