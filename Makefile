@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench results report examples lint obs-smoke par-smoke chaos-smoke kernels-smoke bench-trajectory trace-smoke service-smoke clean
+.PHONY: install test bench results report examples lint obs-smoke par-smoke chaos-smoke kernels-smoke bench-trajectory trace-smoke service-smoke race-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -23,7 +23,7 @@ report:
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
 
-# Static analysis gate: the repo-specific AST linter (six invariant
+# Static analysis gate: the repo-specific AST linter (ten invariant
 # rules, see docs/static-analysis.md) always runs; mypy and ruff run
 # when installed (CI installs them; the dev container may not).
 lint:
@@ -105,13 +105,15 @@ bench-trajectory:
 	rm -rf /tmp/cop-bench-results
 	REPRO_RESULTS_DIR=/tmp/cop-bench-results PYTHONPATH=src \
 		$(PYTHON) -m repro.experiments.cli bench --scale smoke \
-		--suite kernels --suite runner --suite service
+		--suite kernels --suite runner --suite service --suite lint
 	REPRO_RESULTS_DIR=/tmp/cop-bench-results PYTHONPATH=src \
 		$(PYTHON) -m repro.experiments.cli bench --scale smoke \
-		--suite kernels --suite runner --suite service --compare --gate 200
+		--suite kernels --suite runner --suite service --suite lint \
+		--compare --gate 200
 	@test -s /tmp/cop-bench-results/BENCH_kernels.json
 	@test -s /tmp/cop-bench-results/BENCH_runner.json
 	@test -s /tmp/cop-bench-results/BENCH_service.json
+	@test -s /tmp/cop-bench-results/BENCH_lint.json
 	@echo "bench-trajectory: artifacts written, compare + gate exercised"
 
 # Cross-worker tracing gate: the same traced figure serially and with
@@ -137,6 +139,34 @@ service-smoke:
 		--service-ops 8000 --tenants 4 --shards 4 --blocks-per-tenant 256
 	@test -s /tmp/cop-service-smoke/service_loadgen.json
 	@echo "service-smoke: threaded service byte-identical to serial replay"
+
+# Lock-sanitizer gate for the service hot path: the same verified
+# in-process loadgen burst plain and under REPRO_SANITIZE=locks.  The
+# sanitized run must report zero lock-order cycles and zero guarded
+# accesses, and every deterministic report field (ops, statuses,
+# controller, memo, parity) must be byte-identical to the plain run
+# (see docs/static-analysis.md, "Runtime lock sanitizer").
+race-smoke:
+	rm -rf /tmp/cop-race-plain /tmp/cop-race-sanitized
+	REPRO_RESULTS_DIR=/tmp/cop-race-plain PYTHONPATH=src \
+		$(PYTHON) -m repro.experiments.cli loadgen --verify \
+		--service-ops 4000 --tenants 4 --shards 4 --blocks-per-tenant 256
+	REPRO_RESULTS_DIR=/tmp/cop-race-sanitized PYTHONPATH=src \
+		REPRO_SANITIZE=locks \
+		$(PYTHON) -m repro.experiments.cli loadgen --verify \
+		--service-ops 4000 --tenants 4 --shards 4 --blocks-per-tenant 256
+	PYTHONPATH=src $(PYTHON) -c "\
+	import json; \
+	plain = json.load(open('/tmp/cop-race-plain/service_loadgen.json')); \
+	san = json.load(open('/tmp/cop-race-sanitized/service_loadgen.json')); \
+	keys = ('schema', 'ops', 'tenants', 'shards', 'window', 'mode', 'admission', 'transport', 'statuses', 'controller', 'memo', 'parity'); \
+	diffs = [k for k in keys if plain[k] != san[k]]; \
+	assert not diffs, f'sanitized run diverged on {diffs}'; \
+	rep = san['sanitizer']; \
+	assert rep is not None, 'sanitized run recorded no sanitizer report'; \
+	assert rep['cycles'] == 0, rep; \
+	assert rep['guarded_violations'] == 0, rep; \
+	print(f\"race-smoke: {rep['acquires']} acquisitions, 0 cycles, 0 guarded violations, outputs identical\")"
 
 clean:
 	rm -rf results .pytest_cache .hypothesis

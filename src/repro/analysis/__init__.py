@@ -1,6 +1,6 @@
 """Repo-specific static analysis for the COP reproduction.
 
-``python -m repro.analysis [paths] --check`` runs six AST-based rules
+``python -m repro.analysis [paths] --check`` runs ten AST-based rules
 that machine-check the invariants the simulator's correctness rests on:
 
 ``REP001 determinism``
@@ -25,6 +25,27 @@ that machine-check the invariants the simulator's correctness rests on:
     Bare/catch-all ``except`` handlers must re-raise or record a metric
     — failures are detected and counted, never silently swallowed (the
     corrupt-cache-entry bug class from PR 4).
+``REP007 guarded-by``
+    Attributes annotated ``# guarded-by: <lock>`` (or inferred
+    lock-protected from mixed guarded/unguarded access) must only be
+    touched while that lock is held — the memo-race bug class from
+    PRs 5–7, caught before review instead of by stress tests.
+``REP008 single-owner``
+    Classes declaring ``# owner-thread: <entry>`` (the service shard
+    workers) may only touch their owned mutable state from owner-run
+    methods; cross-thread access goes through the queue/peek API.
+``REP009 blocking-under-lock``
+    No sleeps, subprocesses, socket/file I/O or untimed waits while a
+    lock is held; deliberate designs carry a
+    ``sanctioned[blocking-under-lock]`` directive.
+``REP010 thread-discipline``
+    Every ``threading.Thread(...)`` in the service layer is daemonized
+    or joined on the shutdown path — no fire-and-forget workers.
+
+The four concurrency rules share a class-level dataflow model
+(:mod:`repro.analysis.dataflow`, :mod:`repro.analysis.locks`); their
+runtime twin is the opt-in lock sanitizer
+(:mod:`repro.analysis.sanitizer`, ``REPRO_SANITIZE=locks``).
 
 Per-line suppression: ``# repro: noqa[rule-id]`` (or a bare
 ``# repro: noqa`` for all rules).  See ``docs/static-analysis.md``.
@@ -47,6 +68,10 @@ from repro.analysis import rules_bitwidth  # noqa: F401
 from repro.analysis import rules_obsguard  # noqa: F401
 from repro.analysis import rules_pickle  # noqa: F401
 from repro.analysis import rules_except  # noqa: F401
+from repro.analysis import rules_guardedby  # noqa: F401
+from repro.analysis import rules_owner  # noqa: F401
+from repro.analysis import rules_blocking  # noqa: F401
+from repro.analysis import rules_threads  # noqa: F401
 
 __all__ = [
     "Finding",

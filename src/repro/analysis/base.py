@@ -55,6 +55,10 @@ class LintContext:
         self.source = source
         self.tree = tree
         self.lines = source.splitlines()
+        #: Per-file scratch space for analyses shared between rules (the
+        #: concurrency rules all read one class-level dataflow model; see
+        #: :func:`repro.analysis.dataflow.class_models`).
+        self.cache: dict[str, object] = {}
         self._parents: dict[ast.AST, ast.AST] = {}
         for parent in ast.walk(tree):
             for child in ast.iter_child_nodes(parent):

@@ -7,13 +7,20 @@ Exit codes: 0 clean (or report-only mode), 1 findings under ``--check``,
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-from repro.analysis.base import RULES, Rule
+from repro.analysis.base import RULES, Finding, Rule
 from repro.analysis.engine import lint_paths, render_json
 
 __all__ = ["main"]
+
+
+def _matches(rule: Rule, token: str) -> bool:
+    """Exact id/name match, or a prefix of the id (``rep00``, ``REP``)."""
+    rule_id = rule.id.lower()
+    return token in (rule_id, rule.name.lower()) or rule_id.startswith(token)
 
 
 def _select_rules(spec: Optional[str]) -> Optional[list[Rule]]:
@@ -21,18 +28,28 @@ def _select_rules(spec: Optional[str]) -> Optional[list[Rule]]:
         return None
     wanted = {item.strip().lower() for item in spec.split(",") if item.strip()}
     selected = [
-        rule
-        for rule in RULES.values()
-        if rule.id.lower() in wanted or rule.name.lower() in wanted
+        rule for rule in RULES.values() if any(_matches(rule, t) for t in wanted)
     ]
-    matched = {rule.id.lower() for rule in selected} | {
-        rule.name.lower() for rule in selected
+    unknown = {
+        token
+        for token in wanted
+        if not any(_matches(rule, token) for rule in RULES.values())
     }
-    unknown = wanted - matched
     if unknown:
         print(f"unknown rule(s): {', '.join(sorted(unknown))}", file=sys.stderr)
         raise SystemExit(2)
     return selected
+
+
+def _statistics(findings: Sequence[Finding]) -> Dict[str, object]:
+    per_rule: Dict[str, int] = {}
+    for finding in findings:
+        per_rule[finding.rule_id] = per_rule.get(finding.rule_id, 0) + 1
+    return {
+        "total": len(findings),
+        "files": len({finding.path for finding in findings}),
+        "by_rule": dict(sorted(per_rule.items())),
+    }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -60,6 +77,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="comma-separated rule ids/names to run (default: all)",
     )
     parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="print a per-rule finding summary after the findings",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog and exit"
     )
     args = parser.parse_args(argv)
@@ -77,7 +99,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     if args.json:
-        print(render_json(findings))
+        if args.statistics:
+            print(
+                json.dumps(
+                    {
+                        "findings": [f.as_dict() for f in findings],
+                        "statistics": _statistics(findings),
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            print(render_json(findings))
     else:
         for finding in findings:
             print(finding.format())
@@ -85,6 +118,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{len(findings)} finding(s)")
         elif not args.check:
             print("clean")
+        if args.statistics:
+            stats = _statistics(findings)
+            print(f"statistics: {stats['total']} finding(s) in {stats['files']} file(s)")
+            for rule_id, count in stats["by_rule"].items():  # type: ignore[union-attr]
+                rule = RULES.get(rule_id)
+                name = f" [{rule.name}]" if rule is not None else ""
+                print(f"  {rule_id}{name}: {count}")
 
     if args.check and findings:
         return 1

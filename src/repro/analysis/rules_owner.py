@@ -1,0 +1,81 @@
+"""REP008 — single-owner classes: only owner-run methods touch owned state.
+
+The service shards are single-owner by design: one worker thread owns
+the controller, the codec memo and the per-shard counters; every other
+thread interacts through the bounded queue (docs/service.md).  That
+discipline is what lets the shard run without a lock around the
+controller — and nothing enforced it until this rule.
+
+A class opts in with a ``# owner-thread: <entry-method>`` directive in
+its body.  The *owner set* is the entry method plus every method it
+transitively calls through ``self.<m>()``; the *owned attributes* are
+the ones those methods store to, subscript, delete or call methods on
+(minus locks, queues, threads, ``# shared`` channels and
+``# guarded-by`` attributes, which other rules govern).  Any touch of
+an owned attribute — or any call to an owner-run method — from a
+method outside the owner set is flagged, unless that method carries
+``# owner-thread: external`` on its ``def`` line, documenting that it
+runs only while the worker is stopped (pre-``start()``/post-``join()``).
+
+``__init__``-like methods are exempt: they run before the object is
+published to other threads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.base import Finding, LintContext, Rule, register
+from repro.analysis.dataflow import INIT_METHODS, class_models
+
+
+@register
+class SingleOwnerRule(Rule):
+    id = "REP008"
+    name = "single-owner"
+    description = (
+        "classes declaring # owner-thread may only touch their owned "
+        "mutable state from owner-run methods"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for model in class_models(ctx):
+            if model.owner_entry is None:
+                continue
+            if model.owner_entry not in model.methods:
+                yield self.finding(
+                    ctx,
+                    model.node,
+                    f"{model.name} declares # owner-thread: "
+                    f"{model.owner_entry}, but no such method exists",
+                )
+                continue
+            owners = model.owner_methods()
+            owned = model.owned_attrs()
+            exempt = owners | INIT_METHODS | model.external_methods
+            for use in model.uses:
+                if use.method in exempt or use.attr not in owned:
+                    continue
+                yield self.finding(
+                    ctx,
+                    use.node,
+                    f"{model.name}.{use.attr} is owned by the "
+                    f"{model.owner_entry}() worker thread, but this "
+                    f"{use.kind} runs in {use.method}() on a caller thread "
+                    "— go through the queue/peek API, or mark the method "
+                    "`# owner-thread: external` if it provably runs only "
+                    "while the worker is stopped",
+                )
+            for method_name, callees in sorted(model.calls.items()):
+                if method_name in exempt:
+                    continue
+                for callee in sorted(callees & owners):
+                    yield self.finding(
+                        ctx,
+                        model.methods[method_name],
+                        f"{model.name}.{method_name}() calls {callee}(), "
+                        f"which runs on the {model.owner_entry}() owner "
+                        "thread — submitting through the queue keeps the "
+                        "single-owner contract; or mark the caller "
+                        "`# owner-thread: external`",
+                    )

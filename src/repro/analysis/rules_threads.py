@@ -1,0 +1,136 @@
+"""REP010 — thread discipline: every service thread is daemonized or joined.
+
+A non-daemon thread that nobody joins outlives the work that spawned
+it: shutdown hangs waiting on it, test processes never exit, and a
+worker that died silently leaves its queue draining into nowhere.  In
+``repro.service`` (and the other threading call-sites the concurrency
+sweep covers) every ``threading.Thread(...)`` must either:
+
+* pass ``daemon=True`` at construction, or
+* be joined: a ``self.<attr> = Thread(...)`` must have a matching
+  ``self.<attr>.join(...)`` somewhere in the class (the shutdown path),
+  and a local ``t = Thread(...)`` must have a ``.join(...)`` call in
+  the same function (a join on any local name counts — thread handles
+  routinely travel through lists, as in the loadgen's driver pool).
+
+The check is lexical, not a liveness proof: it catches the
+fire-and-forget construction (no ``daemon=``, no join anywhere on the
+shutdown path), which is the bug class that matters.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.base import Finding, LintContext, Rule, register, dotted_name
+from repro.analysis.locks import THREAD_CONSTRUCTORS, self_attr_name
+
+_SCOPED_PACKAGES = ("service", "experiments", "analysis")
+_SCOPED_MODULES = ("kernels.py",)
+
+
+def _is_thread_ctor(node: ast.Call) -> bool:
+    name = dotted_name(node.func)
+    return name is not None and name in THREAD_CONSTRUCTORS
+
+
+def _daemonized(node: ast.Call) -> bool:
+    for keyword in node.keywords:
+        if keyword.arg == "daemon":
+            return (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            )
+    return False
+
+
+def _assigned_self_attr(ctx: LintContext, node: ast.Call) -> Optional[str]:
+    parent = ctx.parent(node)
+    if isinstance(parent, ast.Assign):
+        for target in parent.targets:
+            attr = self_attr_name(target)
+            if attr is not None:
+                return attr
+    if isinstance(parent, ast.AnnAssign):
+        return self_attr_name(parent.target)
+    return None
+
+
+def _join_on_attr(scope: ast.AST, attr: str) -> bool:
+    for node in ast.walk(scope):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and self_attr_name(node.func.value) == attr
+        ):
+            return True
+    return False
+
+
+def _join_on_any_local(scope: ast.AST) -> bool:
+    for node in ast.walk(scope):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and isinstance(node.func.value, ast.Name)
+        ):
+            return True
+    return False
+
+
+@register
+class ThreadDisciplineRule(Rule):
+    id = "REP010"
+    name = "thread-discipline"
+    description = (
+        "threading.Thread(...) must be daemonized (daemon=True) or "
+        "joined on the shutdown path"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if not (
+            ctx.in_packages(*_SCOPED_PACKAGES) or ctx.subpath in _SCOPED_MODULES
+        ):
+            return
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and _is_thread_ctor(node)):
+                continue
+            if _daemonized(node):
+                continue
+            attr = _assigned_self_attr(ctx, node)
+            if attr is not None:
+                enclosing_class = self._enclosing_class(ctx, node)
+                scope: ast.AST = (
+                    enclosing_class if enclosing_class is not None else ctx.tree
+                )
+                if _join_on_attr(scope, attr):
+                    continue
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"thread stored in self.{attr} is neither daemonized "
+                    f"nor joined anywhere in the class — add daemon=True "
+                    f"or join it on the shutdown path",
+                )
+                continue
+            func = ctx.enclosing_function(node)
+            scope = func if func is not None else ctx.tree
+            if _join_on_any_local(scope):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                "thread is neither daemonized nor joined in the enclosing "
+                "scope — fire-and-forget threads hang shutdown; pass "
+                "daemon=True or join the handle",
+            )
+
+    @staticmethod
+    def _enclosing_class(ctx: LintContext, node: ast.AST) -> Optional[ast.ClassDef]:
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor
+        return None

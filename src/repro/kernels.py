@@ -34,7 +34,6 @@ on the scalar path and what ``HsiaoCode.syndrome_many`` consumes.
 
 from __future__ import annotations
 
-import threading
 from typing import (
     Any,
     Callable,
@@ -49,6 +48,7 @@ from typing import (
 import numpy as np
 
 from repro._bits import Bits, int_to_bytes
+from repro.analysis import sanitizer
 from repro.compression.base import BLOCK_BYTES
 from repro.core.codec import BlockKind, COPCodec, DecodedBlock, EncodedBlock
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
@@ -299,16 +299,18 @@ class MemoizedCodec:
         self.masks = self.codec.masks
         self.max_entries = max_entries
         registry = metrics if metrics is not None else NULL_REGISTRY
-        self._encode_cache: Dict[bytes, EncodedBlock] = {}
-        self._decode_cache: Dict[bytes, DecodedBlock] = {}
-        self._count_cache: Dict[bytes, int] = {}
-        self._m_hits = registry.counter("kernels.memo.hits")
-        self._m_misses = registry.counter("kernels.memo.misses")
+        self._encode_cache: Dict[bytes, EncodedBlock] = {}  # guarded-by: _lock
+        self._decode_cache: Dict[bytes, DecodedBlock] = {}  # guarded-by: _lock
+        self._count_cache: Dict[bytes, int] = {}  # guarded-by: _lock
+        self._m_hits = registry.counter("kernels.memo.hits")  # guarded-by: _lock
+        self._m_misses = registry.counter("kernels.memo.misses")  # guarded-by: _lock
         self._m_evictions = registry.counter("kernels.memo.evictions")
         # One lock covers every cache and the counters: the size-check /
         # evict / insert sequence (and the counter increments) must be
         # atomic for the hit+miss bookkeeping to survive threaded shards.
-        self._lock = threading.Lock()
+        # Minted through the sanitizer so REPRO_SANITIZE=locks runs audit
+        # acquisition order and guarded access at runtime (REP007's twin).
+        self._lock = sanitizer.new_lock("kernels.memo")
 
     def __getstate__(self) -> Dict[str, Any]:
         # Locks don't pickle; codecs ride into fork-pool workers inside
@@ -320,7 +322,17 @@ class MemoizedCodec:
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
         self.__dict__.update(state)
-        self._lock = threading.Lock()
+        self._lock = sanitizer.new_lock("kernels.memo")
+
+    def _evict_if_full(self, cache: Dict[bytes, object]) -> None:
+        """Make room for one insertion.  Caller must hold ``self._lock``."""
+        sanitizer.assert_held(self._lock, "MemoizedCodec caches")
+        if len(cache) >= self.max_entries:
+            # FIFO eviction: dicts iterate in insertion order.
+            del cache[next(iter(cache))]
+            # Lexically unguarded, but the assert above enforces the
+            # lock at runtime under REPRO_SANITIZE=locks.
+            self._m_evictions.inc()  # repro: noqa[REP007]
 
     def _memo(
         self,
@@ -337,12 +349,11 @@ class MemoizedCodec:
             self._m_misses.inc()
             # Compute *inside* the lock: a distinct content is computed at
             # most once however many threads race on it, so the miss
-            # counter equals the number of entries ever inserted.
-            value = compute(key)
-            if len(cache) >= self.max_entries:
-                # FIFO eviction: dicts iterate in insertion order.
-                del cache[next(iter(cache))]
-                self._m_evictions.inc()
+            # counter equals the number of entries ever inserted.  The
+            # work is bounded by one scalar codec pass, which is the
+            # service's per-request cost anyway (docs/kernels.md).
+            value = compute(key)  # sanctioned[blocking-under-lock]: miss dedup invariant
+            self._evict_if_full(cache)
             cache[key] = value
             return value
 
@@ -352,9 +363,7 @@ class MemoizedCodec:
             if key in cache:
                 return
             self._m_misses.inc()
-            if len(cache) >= self.max_entries:
-                del cache[next(iter(cache))]
-                self._m_evictions.inc()
+            self._evict_if_full(cache)
             cache[key] = value
 
     def _has(self, cache: Dict[bytes, object], block: bytes) -> bool:

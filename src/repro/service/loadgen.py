@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Deque, Dict, Iterator, List, Optional, Tuple
 
+from repro.analysis import sanitizer as lock_sanitizer
 from repro.compression.base import BLOCK_BYTES
 from repro.core.controller import ProtectionMode
 from repro.obs.perf import now_ns, percentile_of
@@ -361,6 +362,10 @@ class LoadReport:
     memo: Dict[str, int]
     rejected_busy: int
     parity: Optional[Dict[str, object]] = None
+    #: Lock-sanitizer counters when the run was sanitized
+    #: (``REPRO_SANITIZE=locks``); ``None`` on plain runs so the
+    #: deterministic report keys stay identical either way.
+    sanitizer: Optional[Dict[str, int]] = None
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -380,6 +385,7 @@ class LoadReport:
             "memo": self.memo,
             "rejected_busy": self.rejected_busy,
             "parity": self.parity,
+            "sanitizer": self.sanitizer,
         }
 
     def save(self, path: Path) -> None:
@@ -406,6 +412,13 @@ class LoadReport:
         ]
         if self.parity is not None:
             lines.append("  parity: OK (serial replay byte-identical)")
+        if self.sanitizer is not None:
+            lines.append(
+                f"  sanitizer: acquires={self.sanitizer.get('acquires', 0)} "
+                f"edges={self.sanitizer.get('edges', 0)} "
+                f"cycles={self.sanitizer.get('cycles', 0)} "
+                f"guarded_violations={self.sanitizer.get('guarded_violations', 0)}"
+            )
         return "\n".join(lines)
 
 
@@ -456,6 +469,7 @@ def _collect_report(
         memo=memo,
         rejected_busy=rejected,
         parity=parity,
+        sanitizer=lock_sanitizer.report() if lock_sanitizer.enabled() else None,
     )
 
 
@@ -478,6 +492,9 @@ def run_loadgen(
     """
     if verify and connect is not None:
         raise ValueError("--verify needs in-process shard access; drop --connect")
+    if lock_sanitizer.enabled():
+        # Fresh order graph per run so the report covers exactly this load.
+        lock_sanitizer.reset()
     tallies = [_StreamTally() for _ in range(config.tenants)]
 
     def run_threads(target: Callable[..., None], *args: object) -> float:

@@ -58,6 +58,7 @@ from repro.core.controller import (
     ProtectedMemory,
     ProtectionMode,
 )
+from repro.analysis import sanitizer
 from repro.kernels import BatchCodec, MemoizedCodec, blocks_to_array
 from repro.obs import Observability
 from repro.obs.metrics import MetricsRegistry
@@ -156,6 +157,8 @@ class _Work:
 class Shard:
     """Single-owner worker thread servicing one slice of the address space."""
 
+    # owner-thread: _run
+
     def __init__(self, index: int, config: ServiceConfig) -> None:
         self.index = index
         self.config = config
@@ -172,7 +175,7 @@ class Shard:
         self._queue: "queue.Queue[Union[_Work, _Stop]]" = queue.Queue(
             maxsize=config.queue_depth
         )
-        self._stopping = False
+        self._stopping = False  # shared
         self._thread: Optional[threading.Thread] = None
 
         # Worker-owned counters (single writer: the shard thread) except
@@ -190,8 +193,10 @@ class Shard:
         self._c_alias_rejects = self.registry.counter(f"{prefix}.alias_rejects")
         self._c_bad_requests = self.registry.counter(f"{prefix}.bad_requests")
         self._c_errors = self.registry.counter(f"{prefix}.errors")
-        self._c_rejected = self.registry.counter(f"{prefix}.rejected_busy")
-        self._reject_lock = threading.Lock()
+        self._c_rejected = self.registry.counter(  # guarded-by: _reject_lock
+            f"{prefix}.rejected_busy"
+        )
+        self._reject_lock = sanitizer.new_lock(f"service.shard.{index}.reject")
         self._h_latency = self.registry.histogram(f"{prefix}.latency_us")
         self._h_batch = self.registry.histogram(f"{prefix}.batch_blocks")
 
@@ -205,7 +210,7 @@ class Shard:
         )
         self._thread.start()
 
-    def stop(self) -> None:
+    def stop(self) -> None:  # owner-thread: external
         """Finish queued work, then stop the worker (idempotent)."""
         self._stopping = True
         if self._thread is None:
@@ -288,7 +293,9 @@ class Shard:
                 )
             )
 
-    def process_serially(self, requests: List[Request]) -> List[Response]:
+    def process_serially(  # owner-thread: external
+        self, requests: List[Request]
+    ) -> List[Response]:
         """Execute requests one per batch on the calling thread.
 
         The serial-replay half of the parity contract: same shard, same

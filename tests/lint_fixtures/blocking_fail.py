@@ -1,0 +1,48 @@
+# lint-as: repro/service/slow_helper.py
+"""Failing fixture for REP009: blocking work inside critical sections."""
+
+import queue
+import threading
+import time
+
+
+class SleepyCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def bump_slowly(self):
+        with self._lock:
+            time.sleep(0.01)  # blocking under self._lock: REP009
+            self._count += 1
+
+
+class ChattyStore:
+    """Transitive: the method under the lock calls one that blocks."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._inbox = queue.Queue()
+        self._entries = {}
+
+    def _wait_next(self):
+        return self._inbox.get()  # untimed queue wait
+
+    def store_next(self):
+        with self._lock:
+            item = self._wait_next()  # transitively blocks: REP009
+            self._entries[item] = True
+
+
+class CallbackCache:
+    """Calling through a parameter is unbounded work under the lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cache = {}
+
+    def get_or_compute(self, key, compute):
+        with self._lock:
+            if key not in self._cache:
+                self._cache[key] = compute(key)  # REP009
+            return self._cache[key]

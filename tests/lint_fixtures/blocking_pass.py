@@ -1,0 +1,44 @@
+# lint-as: repro/service/slow_helper.py
+"""Passing fixture for REP009: short critical sections or sanctioned designs."""
+
+import queue
+import threading
+import time
+
+
+class PatientCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def bump_slowly(self):
+        time.sleep(0.01)  # blocking, but no lock held
+        with self._lock:
+            self._count += 1
+
+
+class TimedStore:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._inbox = queue.Queue()
+        self._entries = {}
+
+    def store_next(self):
+        with self._lock:
+            # A bounded wait is not a convoy: the timeout caps it.
+            item = self._inbox.get(timeout=0.1)
+            self._entries[item] = True
+
+
+class SanctionedCache:
+    """The memo pattern: compute-inside-lock is a reviewed design."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cache = {}
+
+    def get_or_compute(self, key, compute):
+        with self._lock:  # sanctioned[blocking-under-lock]: dedup misses
+            if key not in self._cache:
+                self._cache[key] = compute(key)
+            return self._cache[key]

@@ -1,0 +1,46 @@
+# lint-as: repro/service/cache_helper.py
+"""Failing fixture for REP007: guarded attributes touched lock-free."""
+
+import threading
+
+
+class AnnotatedCache:
+    """Declared guard, violated: the annotated store skips the lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}  # guarded-by: _lock
+
+    def put(self, key, value):
+        self._entries[key] = value  # no lock held: REP007
+
+    def get(self, key):
+        with self._lock:
+            return self._entries.get(key)
+
+
+class TypoGuard:
+    """The guarded-by names a lock attribute that does not exist."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._rows = []  # guarded-by: _mutex
+
+    def add(self, row):
+        with self._lock:
+            self._rows.append(row)
+
+
+class InferredCache:
+    """No annotation, but mixed guarded/unguarded access gives it away."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._hot = {}
+
+    def insert(self, key, value):
+        with self._lock:
+            self._hot[key] = value
+
+    def evict(self, key):
+        del self._hot[key]  # races insert(): REP007 (inferred)

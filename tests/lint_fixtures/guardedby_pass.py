@@ -1,0 +1,42 @@
+# lint-as: repro/service/cache_helper.py
+"""Passing fixture for REP007: every guarded access holds its lock."""
+
+import threading
+
+
+class AnnotatedCache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}  # guarded-by: _lock
+        # Populating before the object escapes __init__ needs no lock.
+        self._entries["warm"] = b"seed"
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+
+    def get(self, key):
+        with self._lock:
+            return self._entries.get(key)
+
+    def __setstate__(self, state):
+        # Init-like methods are single-threaded by construction.
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+        self._entries["rehydrated"] = True
+
+
+class ConsistentCache:
+    """Unannotated, but all tracked uses are guarded: nothing to infer."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._hot = {}
+
+    def insert(self, key, value):
+        with self._lock:
+            self._hot[key] = value
+
+    def evict(self, key):
+        with self._lock:
+            self._hot.pop(key, None)

@@ -1,0 +1,40 @@
+# lint-as: repro/service/worker_helper.py
+"""Failing fixture for REP008: owner-thread state touched cross-thread."""
+
+import queue
+
+
+class LeakyWorker:
+    """Caller-facing method mutates state only the worker may touch."""
+
+    # owner-thread: _run
+
+    def __init__(self):
+        self._queue = queue.Queue()
+        self._results = []
+        self._processed = 0
+
+    def _run(self):
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            self._results.append(item)
+            self._processed += 1
+
+    def drain(self):
+        # Runs on the caller thread while _run() is live: REP008.
+        self._results.clear()
+
+    def submit(self, item):
+        self._queue.put(item)
+        self._run()  # calling an owner method cross-thread: REP008
+
+
+class GhostWorker:
+    """Declares an entry method that the class never defines."""
+
+    # owner-thread: _main_loop
+
+    def __init__(self):
+        self._queue = queue.Queue()

@@ -1,0 +1,41 @@
+# lint-as: repro/service/worker_helper.py
+"""Passing fixture for REP008: all owner state stays on the owner thread."""
+
+import queue
+import threading
+
+
+class DisciplinedWorker:
+    # owner-thread: _run
+
+    def __init__(self):
+        self._queue = queue.Queue()
+        self._results = []
+        self._processed = 0
+        self._stopping = False  # shared
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            self._handle(item)
+
+    def _handle(self, item):
+        # Transitively owner-run via _run() -> _handle().
+        self._results.append(item)
+        self._processed += 1
+
+    def submit(self, item):
+        # Cross-thread traffic goes through the queue (auto-shared).
+        self._queue.put(item)
+
+    def stop(self):  # owner-thread: external
+        self._queue.put(None)
+
+    def drain(self):  # owner-thread: external
+        # Documented to run only while the worker is stopped.
+        out = list(self._results)
+        self._results.clear()
+        return out

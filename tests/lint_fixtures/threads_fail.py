@@ -1,0 +1,25 @@
+# lint-as: repro/service/spawn_helper.py
+"""Failing fixture for REP010: fire-and-forget threads."""
+
+import threading
+
+
+class ForgetfulWorker:
+    """Stores the thread but never daemonizes or joins it."""
+
+    def __init__(self):
+        self._thread = threading.Thread(target=self._run)
+        self._thread.start()
+
+    def _run(self):
+        pass
+
+    def stop(self):
+        # No join anywhere in the class: shutdown just hopes.
+        pass
+
+
+def scatter(jobs):
+    for job in jobs:
+        worker = threading.Thread(target=job)
+        worker.start()  # local thread, never joined: REP010

@@ -1,0 +1,33 @@
+# lint-as: repro/service/spawn_helper.py
+"""Passing fixture for REP010: every thread is daemonized or joined."""
+
+import threading
+
+
+class JoinedWorker:
+    def __init__(self):
+        self._thread = threading.Thread(target=self._run)
+        self._thread.start()
+
+    def _run(self):
+        pass
+
+    def stop(self):
+        self._thread.join()
+
+
+class DaemonWorker:
+    def __init__(self):
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self):
+        pass
+
+
+def gather(jobs):
+    threads = [threading.Thread(target=job) for job in jobs]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()

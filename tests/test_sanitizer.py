@@ -1,0 +1,182 @@
+"""Runtime lock sanitizer: order-graph cycles, guarded access, service smoke.
+
+The sanitizer is opt-in (``REPRO_SANITIZE=locks``); these tests flip the
+switch per-test and always :func:`repro.analysis.sanitizer.reset`
+between runs so the process-wide order graph never leaks across tests.
+"""
+
+import threading
+
+import pytest
+
+from repro.analysis import sanitizer
+from repro.service.loadgen import LoadgenConfig, run_loadgen
+
+
+@pytest.fixture
+def sanitized(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "locks")
+    sanitizer.reset()
+    yield
+    sanitizer.reset()
+
+
+class TestEnabled:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert not sanitizer.enabled()
+        lock = sanitizer.new_lock("plain")
+        assert not isinstance(lock, sanitizer.SanitizedLock)
+
+    def test_enabled_parses_comma_list(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "foo, locks ,bar")
+        assert sanitizer.enabled()
+
+    def test_assert_held_is_noop_for_plain_locks(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        lock = threading.Lock()
+        sanitizer.assert_held(lock, "anything")  # must not raise
+
+
+class TestLockOrder:
+    def test_consistent_order_is_clean(self, sanitized):
+        a = sanitizer.new_lock("a")
+        b = sanitizer.new_lock("b")
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        report = sanitizer.report()
+        assert report["cycles"] == 0
+        assert report["edges"] == 1  # a -> b, recorded once
+
+    def test_two_lock_inversion_raises(self, sanitized):
+        a = sanitizer.new_lock("a")
+        b = sanitizer.new_lock("b")
+        with a:
+            with b:
+                pass
+        with pytest.raises(sanitizer.LockOrderError):
+            with b:
+                with a:
+                    pass
+        assert sanitizer.report()["cycles"] == 1
+
+    def test_three_lock_abc_bca_cycle_raises(self, sanitized):
+        a = sanitizer.new_lock("a")
+        b = sanitizer.new_lock("b")
+        c = sanitizer.new_lock("c")
+        # Establish a -> b and b -> c without ever inverting a pair
+        # directly; the cycle only exists through the transitive path.
+        with a:
+            with b:
+                pass
+        with b:
+            with c:
+                pass
+        with pytest.raises(sanitizer.LockOrderError) as exc:
+            with c:
+                with a:  # closes c -> a against a -> b -> c
+                    pass
+        message = str(exc.value)
+        assert "a#" in message and "b#" in message and "c#" in message
+        assert sanitizer.report()["cycles"] == 1
+
+    def test_raising_acquire_releases_inner_lock(self, sanitized):
+        a = sanitizer.new_lock("a")
+        b = sanitizer.new_lock("b")
+        with a:
+            with b:
+                pass
+        with pytest.raises(sanitizer.LockOrderError):
+            with b:
+                with a:
+                    pass
+        # The failed acquisition must not leave `a` locked.
+        assert not a.locked()
+        assert a.acquire(blocking=False)
+        a.release()
+
+    def test_same_lock_names_are_distinct_nodes(self, sanitized):
+        first = sanitizer.new_lock("shard.reject")
+        second = sanitizer.new_lock("shard.reject")
+        assert first.name != second.name
+        # Opposite nesting of *different instances* is not a cycle.
+        with first:
+            with second:
+                pass
+        with pytest.raises(sanitizer.LockOrderError):
+            with second:
+                with first:
+                    pass
+
+
+class TestGuardedAccess:
+    def test_access_without_lock_raises_and_counts(self, sanitized):
+        lock = sanitizer.new_lock("memo")
+        with pytest.raises(sanitizer.GuardedAccessError):
+            sanitizer.assert_held(lock, "memo caches")
+        assert sanitizer.report()["guarded_violations"] == 1
+
+    def test_access_with_lock_held_passes(self, sanitized):
+        lock = sanitizer.new_lock("memo")
+        with lock:
+            sanitizer.assert_held(lock, "memo caches")
+        assert sanitizer.report()["guarded_violations"] == 0
+
+    def test_held_is_per_thread(self, sanitized):
+        lock = sanitizer.new_lock("memo")
+        failures = []
+
+        def other():
+            try:
+                sanitizer.assert_held(lock, "memo caches")
+            except sanitizer.GuardedAccessError:
+                failures.append(True)
+
+        with lock:
+            worker = threading.Thread(target=other)
+            worker.start()
+            worker.join()
+        assert failures == [True]
+
+
+class TestServiceSmoke:
+    def test_sanitized_loadgen_is_clean_and_identical(self, monkeypatch):
+        config = LoadgenConfig(ops=300, tenants=3)
+
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        plain = run_loadgen(config, verify=True).as_dict()
+        assert plain["sanitizer"] is None
+
+        monkeypatch.setenv("REPRO_SANITIZE", "locks")
+        sanitizer.reset()
+        try:
+            sanitized = run_loadgen(config, verify=True).as_dict()
+        finally:
+            sanitizer.reset()
+
+        report = sanitized["sanitizer"]
+        assert report is not None
+        assert report["cycles"] == 0
+        assert report["guarded_violations"] == 0
+        assert report["acquires"] == report["releases"] > 0
+
+        # Sanitizing must not perturb any deterministic output: project
+        # out the timing fields and require byte-identity on the rest.
+        deterministic = (
+            "schema",
+            "ops",
+            "tenants",
+            "shards",
+            "window",
+            "mode",
+            "admission",
+            "transport",
+            "statuses",
+            "controller",
+            "memo",
+            "parity",
+        )
+        for key in deterministic:
+            assert plain[key] == sanitized[key], key
