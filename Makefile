@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench results report examples lint obs-smoke par-smoke chaos-smoke kernels-smoke bench-trajectory trace-smoke service-smoke race-smoke clean
+.PHONY: install test bench results report examples lint obs-smoke par-smoke chaos-smoke kernels-smoke bench-trajectory trace-smoke service-smoke service-chaos-smoke race-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -23,7 +23,7 @@ report:
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
 
-# Static analysis gate: the repo-specific AST linter (ten invariant
+# Static analysis gate: the repo-specific AST linter (eleven invariant
 # rules, see docs/static-analysis.md) always runs; mypy and ruff run
 # when installed (CI installs them; the dev container may not).
 lint:
@@ -139,6 +139,31 @@ service-smoke:
 		--service-ops 8000 --tenants 4 --shards 4 --blocks-per-tenant 256
 	@test -s /tmp/cop-service-smoke/service_loadgen.json
 	@echo "service-smoke: threaded service byte-identical to serial replay"
+
+# Self-healing gate: the same verified TCP loadgen burst with
+# service-layer chaos injected (worker kills, connection drops, delays)
+# and the durable WAL on.  The run must survive at least one supervised
+# shard restart and STILL replay byte-identical against the clean serial
+# schedule (final responses + stored contents; docs/service.md,
+# "Resilience").  Budgeted well under a minute.
+service-chaos-smoke:
+	rm -rf /tmp/cop-chaos-smoke /tmp/cop-chaos-smoke-wal
+	REPRO_RESULTS_DIR=/tmp/cop-chaos-smoke PYTHONPATH=src \
+		REPRO_CHAOS="worker-kill:0.0015,conn-drop:0.01,delay:0.02:5,seed:7" \
+		$(PYTHON) -m repro.experiments.cli loadgen --with-server --verify \
+		--service-ops 16000 --tenants 4 --shards 4 --blocks-per-tenant 256 \
+		--wal-dir /tmp/cop-chaos-smoke-wal --client-retries 8
+	PYTHONPATH=src $(PYTHON) -c "\
+	import json; \
+	rep = json.load(open('/tmp/cop-chaos-smoke/service_loadgen.json')); \
+	res = rep['resilience']; \
+	assert rep['parity'] and rep['parity']['verified'], 'parity not verified'; \
+	assert not rep['parity']['strict'], 'chaos run should verify non-strict'; \
+	assert res['restarts'] >= 1, f'no supervised restart happened: {res}'; \
+	assert res['wal_records'] >= 1, f'WAL recorded nothing: {res}'; \
+	print(f\"service-chaos-smoke: {res['restarts']} restarts, \" \
+	      f\"{res['reconnects']} reconnects, {res['wal_replayed']} WAL \" \
+	      f\"records replayed, parity byte-identical\")"
 
 # Lock-sanitizer gate for the service hot path: the same verified
 # in-process loadgen burst plain and under REPRO_SANITIZE=locks.  The

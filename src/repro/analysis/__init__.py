@@ -1,6 +1,6 @@
 """Repo-specific static analysis for the COP reproduction.
 
-``python -m repro.analysis [paths] --check`` runs ten AST-based rules
+``python -m repro.analysis [paths] --check`` runs eleven AST-based rules
 that machine-check the invariants the simulator's correctness rests on:
 
 ``REP001 determinism``
@@ -41,6 +41,11 @@ that machine-check the invariants the simulator's correctness rests on:
 ``REP010 thread-discipline``
     Every ``threading.Thread(...)`` in the service layer is daemonized
     or joined on the shutdown path — no fire-and-forget workers.
+``REP011 ambiguous-retry``
+    ``Status.INTERNAL`` must never share a retry-safe status collection
+    with the never-executed statuses (``RETRYABLE``/``BUSY``/
+    ``DEADLINE_EXCEEDED``/``OVERLOADED``): INTERNAL makes no
+    never-executed promise, so a write retried on it can double-apply.
 
 The four concurrency rules share a class-level dataflow model
 (:mod:`repro.analysis.dataflow`, :mod:`repro.analysis.locks`); their
@@ -72,6 +77,7 @@ from repro.analysis import rules_guardedby  # noqa: F401
 from repro.analysis import rules_owner  # noqa: F401
 from repro.analysis import rules_blocking  # noqa: F401
 from repro.analysis import rules_threads  # noqa: F401
+from repro.analysis import rules_retry  # noqa: F401
 
 __all__ = [
     "Finding",

@@ -1,0 +1,135 @@
+"""REP011 — ``Status.INTERNAL`` must never be classed retry-safe for writes.
+
+The service's retry contract (docs/service.md) splits response statuses
+into two tiers.  ``RETRYABLE``/``BUSY``/``DEADLINE_EXCEEDED``/
+``OVERLOADED`` are *never-executed* guarantees: the daemon promises the
+op did not touch state, so any client may re-send anything.
+``INTERNAL`` carries no such promise — the op may have half-executed
+before raising — so a write retried on ``INTERNAL`` can double-apply.
+The server encodes this as two separate constants
+(``NEVER_EXECUTED_STATUSES`` vs ``READONLY_RETRY_STATUSES``) combined in
+:func:`repro.service.server.retry_safe`, which consults the op kind.
+
+This rule is the tripwire for the tempting refactor that merges them:
+any set/list/tuple literal that puts ``Status.INTERNAL`` in the same
+retry-flavored collection as a never-executed status.  A collection is
+retry-flavored when the name it is bound to (or compared against via
+``in``) mentions retry/never-executed/idempotent — naming a collection
+that way *is* the claim that membership means "safe to re-send", and
+``INTERNAL`` can only belong next to an op-kind check like
+``retry_safe``'s.
+
+Scoped to ``repro/service`` — analysis fixtures and client code outside
+the service package are free to build whatever status sets they like.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.analysis.base import Finding, LintContext, Rule, register
+from repro.analysis.base import dotted_name
+
+#: Statuses whose wire contract is "the op never executed".
+_NEVER_EXECUTED = {
+    "Status.RETRYABLE",
+    "Status.BUSY",
+    "Status.DEADLINE_EXCEEDED",
+    "Status.OVERLOADED",
+}
+_AMBIGUOUS = "Status.INTERNAL"
+#: Name fragments that mark a collection as meaning "safe to re-send".
+_RETRY_NAME_HINTS = ("retry", "never_executed", "idempotent", "resend")
+
+
+def _literal_elements(node: ast.AST) -> Optional[Tuple[ast.expr, ...]]:
+    """Elements of a set/list/tuple literal, unwrapping set()/frozenset()."""
+    if isinstance(node, (ast.Set, ast.List, ast.Tuple)):
+        return tuple(node.elts)
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+        and len(node.args) == 1
+        and not node.keywords
+    ):
+        return _literal_elements(node.args[0])
+    return None
+
+
+def _retry_flavored_name(ctx: LintContext, node: ast.AST) -> Optional[str]:
+    """The retry-suggesting name this literal is bound to or tested as."""
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                ancestor.targets
+                if isinstance(ancestor, ast.Assign)
+                else [ancestor.target]
+            )
+            for target in targets:
+                name = dotted_name(target)
+                if name is not None and _mentions_retry(name):
+                    return name
+            return None
+        if isinstance(ancestor, ast.Compare) and any(
+            isinstance(op, (ast.In, ast.NotIn)) for op in ancestor.ops
+        ):
+            # `status in {Status.RETRYABLE, Status.INTERNAL}` — the literal
+            # acts as an anonymous retry set when it gates a retry branch.
+            func = ctx.enclosing_function(ancestor)
+            if func is not None and _mentions_retry(func.name):
+                return func.name
+            return None
+        if isinstance(ancestor, ast.stmt):
+            return None
+    return None
+
+
+def _mentions_retry(name: str) -> bool:
+    lowered = name.lower()
+    return any(hint in lowered for hint in _RETRY_NAME_HINTS)
+
+
+@register
+class AmbiguousRetryRule(Rule):
+    id = "REP011"
+    name = "ambiguous-retry"
+    description = (
+        "Status.INTERNAL must not share a retry-safe status collection "
+        "with the never-executed statuses; writes retried on INTERNAL "
+        "can double-apply"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.in_packages("service"):
+            return
+        for node in ast.walk(ctx.tree):
+            elements = _literal_elements(node)
+            if elements is None:
+                continue
+            parent = ctx.parent(node)
+            if (
+                isinstance(node, (ast.Set, ast.List, ast.Tuple))
+                and isinstance(parent, ast.Call)
+                and _literal_elements(parent) is not None
+            ):
+                continue  # reported via the wrapping set()/frozenset() call
+            names = {dotted_name(el) for el in elements}
+            if _AMBIGUOUS not in names or not (names & _NEVER_EXECUTED):
+                continue
+            bound = _retry_flavored_name(ctx, node)
+            if bound is None:
+                continue
+            shared = sorted(
+                name.split(".", 1)[1] for name in (names & _NEVER_EXECUTED)
+            )
+            yield self.finding(
+                ctx,
+                node,
+                f"{bound!r} groups Status.INTERNAL with never-executed "
+                f"statuses ({', '.join(shared)}); INTERNAL makes no "
+                "never-executed promise, so a write retried on it can "
+                "double-apply — keep INTERNAL behind an op-kind check "
+                "like retry_safe() (docs/service.md)",
+            )

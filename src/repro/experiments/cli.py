@@ -183,7 +183,7 @@ def _run_bench_command(args, scale: Scale) -> int:
 
 def _service_config(args) -> "object":
     from repro.core.controller import ProtectionMode
-    from repro.service import ServiceConfig
+    from repro.service import ServiceChaosConfig, ServiceConfig
 
     try:
         mode = ProtectionMode(args.service_mode)
@@ -192,12 +192,20 @@ def _service_config(args) -> "object":
         raise ValueError(
             f"unknown --service-mode {args.service_mode!r} (one of: {valid})"
         ) from None
+    chaos = ServiceChaosConfig.from_env()
+    if chaos is not None and chaos.worker_kill > 0 and args.wal_dir is None:
+        raise ValueError(
+            "REPRO_CHAOS worker-kill without --wal-dir would lose "
+            "acknowledged writes on recovery; pass --wal-dir"
+        )
     return ServiceConfig(
         shards=args.shards,
         mode=mode,
         batch_max=args.batch_max,
         queue_depth=args.queue_depth,
         admission=args.admission,
+        wal_dir=args.wal_dir,
+        chaos=chaos,
     )
 
 
@@ -213,14 +221,19 @@ def _run_serve_command(args) -> int:
     server = ServiceServer(COPService(config), host=args.host, port=args.port)
     server.start()
     host, port = server.server_address[0], server.server_address[1]
+    extras = ""
+    if config.wal_dir is not None:
+        extras += f", wal {config.wal_dir}"
+    if config.chaos is not None:
+        extras += f", chaos {config.chaos.describe()}"
     print(
         f"cop service listening on {host}:{port} "
         f"({args.shards} shards, mode {args.service_mode}, "
-        f"admission {args.admission}); Ctrl-C to stop"
+        f"admission {args.admission}{extras}); Ctrl-C to stop"
     )
     try:
-        while True:
-            server.wait(3600)
+        while not server.wait(args.timeout or 3600.0):
+            pass
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
@@ -240,6 +253,9 @@ def _run_loadgen_command(args) -> int:
             window=args.window,
             seed=args.service_seed,
             blocks_per_tenant=args.blocks_per_tenant,
+            deadline_ms=args.deadline_ms,
+            client_timeout=args.timeout if args.timeout else 30.0,
+            retry_attempts=args.client_retries,
             service=_service_config(args),
         )
         connect = parse_host_port(args.connect) if args.connect else None
@@ -324,7 +340,9 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="SECONDS",
         help="per-job wall-clock budget; an attempt that exceeds it is "
-        "killed and retried (default: $REPRO_TIMEOUT or unlimited)",
+        "killed and retried (default: $REPRO_TIMEOUT or unlimited). "
+        "For serve this is the wait-loop interval; for loadgen the "
+        "client socket timeout (default 30s)",
     )
     parser.add_argument(
         "--retries",
@@ -526,6 +544,35 @@ def main(argv: list[str] | None = None) -> int:
         metavar="HOST:PORT",
         default=None,
         help="[loadgen] drive an already-running daemon instead",
+    )
+    parser.add_argument(
+        "--wal-dir",
+        metavar="DIR",
+        default=None,
+        help="[serve/loadgen] journal acknowledged writes to per-shard "
+        "write-ahead logs under DIR so supervisor recovery replays them "
+        "(required for loadgen parity under worker-kill chaos; stale "
+        "WALs in DIR are replayed on startup, so point fresh runs at a "
+        "fresh directory)",
+    )
+    parser.add_argument(
+        "--client-retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="[loadgen] total tries per op: retry-safe statuses and "
+        "dropped connections are retried with deterministic seeded "
+        "backoff up to N attempts (default 1 = never retry; chaos runs "
+        "want 8+)",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=int,
+        default=None,
+        metavar="MS",
+        help="[loadgen] attach a deadline to every request; shards shed "
+        "queue entries that exceed it with DEADLINE_EXCEEDED "
+        "(default: no deadline)",
     )
     args = parser.parse_args(argv)
 

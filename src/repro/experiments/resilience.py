@@ -110,6 +110,11 @@ class ChaosConfig:
     hang: float = 0.0
     seed: int = 0
 
+    #: Service-layer knobs (repro.service.chaos) sharing the REPRO_CHAOS
+    #: grammar; the runner parser skips them, the service parser skips
+    #: crash/hang — one spec can fault both layers at once.
+    SERVICE_KNOBS = ("worker-kill", "delay", "conn-drop")
+
     @classmethod
     def parse(cls, spec: str) -> Optional["ChaosConfig"]:
         """Parse ``"crash:0.1,hang:0.05,seed:3"``; None for empty/invalid."""
@@ -128,6 +133,8 @@ class ChaosConfig:
                     hang = float(raw)
                 elif name == "seed":
                     seed = int(raw)
+                elif name in cls.SERVICE_KNOBS:
+                    continue
                 else:
                     raise ValueError(f"unknown chaos knob {name!r}")
             except ValueError:

@@ -30,14 +30,64 @@ distinct content; an eviction would re-count it).  The verifier asserts
 
 COP-ER is excluded: its ECC-region entry allocation depends on global
 cross-address order (docs/service.md).
+
+Parity under chaos
+------------------
+
+With service-layer fault injection on (``config.service.chaos``), two
+mechanisms keep the final response streams serial:
+
+**Per-address submission gating.**  A request is not submitted while an
+earlier same-address op is unresolved in the window (:func:`_addr_busy`).
+Without the gate, a window slot submitted just after a crash overtakes
+crash-killed same-address predecessors on the shard FIFO and executes
+out of program order — and once an overtaking *write* has executed, no
+client-side replay can restore the value it clobbered.  Same address
+means same shard, so per-address gating is exactly the serialization
+the parity contract needs; cross-address traffic (and chaos-free runs)
+keep full pipeline depth.
+
+**Idempotency-aware retry.**  A head-of-window response whose status is
+retry-safe for its op (:func:`repro.service.server.retry_safe`)
+triggers a window drain after a deterministic seeded-jitter backoff.
+The remaining in-flight responses are resolved and partitioned:
+
+* A *final* outcome is normally kept and recorded when it reaches the
+  head — it was computed against its shard's committed prefix, and
+  re-executing it could observe later writes (the exactly-once cache
+  dies with a crashed worker).
+* A *retry-safe* outcome on an addressed op marks its block address
+  **dirty**, and every later pending op on a dirty address — even one
+  holding a final answer — is discarded and re-sent.  An address always
+  routes to one shard and a shard's queue is FIFO, so a final answer
+  behind a failed same-address op can only mean the op was submitted
+  after the crash and overtook failed predecessors that had not been
+  re-sent yet: its answer was computed out of program order.  Finals on
+  other addresses are untouched — their history is intact, and
+  re-executing them would itself reorder (a re-run read could observe a
+  later write that has since committed).
+
+Re-sends in the drain carry a bumped ``attempt`` so the daemon's
+exactly-once cache (keyed on ``(id, attempt)``) cannot answer the stale
+execution; replaying a dirty address's pending ops in window order
+re-imposes that address's history, so the fresh answers are the serial
+ones.  Unacknowledged re-sends after a pure *connection* drop
+keep their attempt — if the op executed and only the ack was lost, the
+cache must answer the original outcome.  The final response per op is
+what lands in the tenant digest, so the digests still compare
+byte-identical against the clean serial replay; controller/memo counters
+do **not** (recovery replays work), which is why
+:func:`verify_parity` drops those assertions in non-strict mode.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import random
 import threading
+import time
 from array import array
 from collections import deque
 from concurrent.futures import Future
@@ -50,7 +100,13 @@ from repro.compression.base import BLOCK_BYTES
 from repro.core.controller import ProtectionMode
 from repro.obs.perf import now_ns, percentile_of
 from repro.service.protocol import Request, Response, Status
-from repro.service.server import COPService, ServiceClient, ServiceServer
+from repro.service.server import (
+    COPService,
+    RetryPolicy,
+    ServiceClient,
+    ServiceServer,
+    retry_safe,
+)
 from repro.service.shard import ServiceConfig
 from repro.workloads.blocks import BlockSource
 from repro.workloads.profiles import PROFILES
@@ -99,6 +155,14 @@ class LoadgenConfig:
     encode_fraction: float = 0.08
     #: Fraction of reads aimed at the never-written half of the arena.
     miss_fraction: float = 0.01
+    #: Attached to every generated request (None: no deadline).
+    deadline_ms: Optional[int] = None
+    #: Client socket/connect timeout in seconds.
+    client_timeout: float = 30.0
+    #: Total tries per op (1 = never retry; chaos runs need headroom).
+    retry_attempts: int = 1
+    retry_backoff_base: float = 0.005
+    retry_backoff_cap: float = 0.25
     service: ServiceConfig = field(default_factory=ServiceConfig)
 
     def __post_init__(self) -> None:
@@ -108,6 +172,12 @@ class LoadgenConfig:
             raise ValueError("tenants must be in [1, 256]")
         if self.window < 1:
             raise ValueError("window must be positive")
+        if self.deadline_ms is not None and self.deadline_ms < 1:
+            raise ValueError("deadline_ms must be positive")
+        if self.client_timeout <= 0:
+            raise ValueError("client_timeout must be positive")
+        if self.retry_attempts < 1:
+            raise ValueError("retry_attempts must be positive")
         fractions = (
             self.write_fraction,
             self.read_fraction,
@@ -133,6 +203,14 @@ class LoadgenConfig:
         base, extra = divmod(self.ops, self.tenants)
         return base + (1 if tenant < extra else 0)
 
+    def retry_policy(self, tenant: int) -> RetryPolicy:
+        return RetryPolicy(
+            max_attempts=self.retry_attempts,
+            backoff_base=self.retry_backoff_base,
+            backoff_cap=self.retry_backoff_cap,
+            seed=f"loadgen|{self.seed}|t{tenant:02d}",
+        )
+
 
 def tenant_requests(config: LoadgenConfig, tenant: int) -> Iterator[Request]:
     """The tenant's request stream — deterministic, regenerable at will."""
@@ -144,6 +222,7 @@ def tenant_requests(config: LoadgenConfig, tenant: int) -> Iterator[Request]:
     base = config.tenant_base(tenant)
     blocks = config.blocks_per_tenant
     versions = config.content_versions
+    deadline = config.deadline_ms
     #: Distinct contents are few (blocks x versions); cache generation.
     content: Dict[Tuple[int, int], bytes] = {}
 
@@ -173,20 +252,22 @@ def tenant_requests(config: LoadgenConfig, tenant: int) -> Iterator[Request]:
                 written.append(addr)
             yield Request(
                 "write", id=rid, addr=addr, data=block_of(addr, version),
-                tenant=name,
+                tenant=name, deadline_ms=deadline,
             )
         elif roll < read_cut:
             if rng.random() < config.miss_fraction:
                 addr = base + (blocks + rng.randrange(blocks)) * BLOCK_BYTES
             else:
                 addr = written[rng.randrange(len(written))]
-            yield Request("read", id=rid, addr=addr, tenant=name)
+            yield Request(
+                "read", id=rid, addr=addr, tenant=name, deadline_ms=deadline
+            )
         elif roll < encode_cut:
             addr = base + rng.randrange(blocks) * BLOCK_BYTES
             yield Request(
                 "encode", id=rid,
                 data=block_of(addr, versions + rng.randrange(versions)),
-                tenant=name,
+                tenant=name, deadline_ms=deadline,
             )
         else:
             addr = base + rng.randrange(blocks) * BLOCK_BYTES
@@ -195,7 +276,7 @@ def tenant_requests(config: LoadgenConfig, tenant: int) -> Iterator[Request]:
             yield Request(
                 "decode", id=rid,
                 data=block_of(addr, 2 * versions + rng.randrange(versions)),
-                tenant=name,
+                tenant=name, deadline_ms=deadline,
             )
 
 
@@ -217,12 +298,25 @@ def interleave(config: LoadgenConfig) -> Iterator[Request]:
 
 
 class _StreamTally:
-    """Digest + status counts + latency samples for one tenant stream."""
+    """Digest + status counts + latency samples for one tenant stream.
+
+    Only *final* (post-retry) responses enter the digest and ``statuses``;
+    transient retry-safe outcomes are tallied separately so the digest
+    stays comparable against the clean serial replay.
+    """
 
     def __init__(self) -> None:
         self.digest = hashlib.sha256()
         self.statuses: Dict[str, int] = {}
         self.latencies_us = array("d")
+        #: Retry-safe statuses that were retried rather than recorded.
+        self.transient: Dict[str, int] = {}
+        self.retries = 0
+        self.reconnects = 0
+        #: Ops re-sent as part of a suffix replay (includes the head).
+        self.replayed = 0
+        #: Retry-safe outcomes recorded as final: attempts ran out.
+        self.exhausted = 0
 
     def record(self, response: Response, latency_us: Optional[float]) -> None:
         self.digest.update(response.to_json().encode("utf-8"))
@@ -232,19 +326,126 @@ class _StreamTally:
         if latency_us is not None:
             self.latencies_us.append(latency_us)
 
+    def record_transient(self, status: Status) -> None:
+        key = status.value
+        self.transient[key] = self.transient.get(key, 0) + 1
+
+
+@dataclass
+class _Inflight:
+    """One sent-but-unresolved request in a tenant driver's window."""
+
+    request: Request
+    first_ns: int
+    attempts: int
+    future: Optional["Future[Response]"] = None
+    #: Final response observed while waiting out a suffix replay; the op
+    #: is NOT re-sent and this is recorded when it reaches the head.
+    resolved: Optional[Response] = None
+
+
+def _pop_resolved(pending: "Deque[_Inflight]", tally: _StreamTally) -> None:
+    """Record the head's stored final response (set during a replay)."""
+    head = pending.popleft()
+    assert head.resolved is not None
+    if retry_safe(head.request.op, head.resolved.status):
+        tally.exhausted += 1
+    tally.record(head.resolved, (now_ns() - head.first_ns) / 1000.0)
+
+
+def _addr_busy(pending: "Deque[_Inflight]", addr: int) -> bool:
+    """Is an earlier op on this block address still unresolved in-window?
+
+    Chaos-mode submission gate: a request must not enter the pipeline
+    while an earlier same-address op is unresolved.  If that op was
+    killed by a worker crash, the new request would overtake it on the
+    shard's FIFO and execute out of program order — and an overtaking
+    *write* clobbers state no client-side replay can restore (the value
+    it overwrote left the window long ago).  Same address means same
+    shard, so gating per address is exactly the needed serialization;
+    cross-address pipelining (and the chaos-free fast path) keep full
+    depth.
+    """
+    return any(
+        op.request.addr == addr and op.resolved is None for op in pending
+    )
+
 
 def _drive_inprocess(
     service: COPService, config: LoadgenConfig, tenant: int, tally: _StreamTally
 ) -> None:
-    window: "Deque[Tuple[Future[Response], int]]" = deque()
+    policy = config.retry_policy(tenant)
+    pending: Deque[_Inflight] = deque()
+    guard_addrs = config.service.chaos is not None
+
+    def resolve_head() -> None:
+        head = pending[0]
+        if head.resolved is not None:
+            _pop_resolved(pending, tally)
+            return
+        assert head.future is not None
+        response = head.future.result()
+        if (
+            retry_safe(head.request.op, response.status)
+            and head.attempts < policy.max_attempts
+        ):
+            tally.retries += 1
+            # Wait out the rest of the window, back off, then re-send in
+            # order.  A final response normally stays valid — it was
+            # computed against its shard's committed prefix — and must not
+            # be re-executed (the exactly-once cache dies with a crashed
+            # worker; a re-run read would observe later committed writes).
+            # The exception: once an addressed op yields a retry-safe
+            # outcome, any LATER pending op on the SAME address holding a
+            # final answer can only have overtaken it (same address means
+            # same shard, and the shard queue is FIFO — it was submitted
+            # after the crash), so that answer was computed out of program
+            # order and is discarded and re-executed instead.  The bumped
+            # attempt forces a dedup miss for exactly those re-runs.
+            retryable: List[_Inflight] = []
+            dirty: set[int] = set()
+            for op in pending:
+                if op.resolved is not None:
+                    continue
+                assert op.future is not None
+                op_response = op.future.result()
+                addr = op.request.addr
+                if (
+                    retry_safe(op.request.op, op_response.status)
+                    or (addr is not None and addr in dirty)
+                ) and op.attempts < policy.max_attempts:
+                    tally.record_transient(op_response.status)
+                    op.attempts += 1
+                    if addr is not None:
+                        dirty.add(addr)
+                    retryable.append(op)
+                else:
+                    op.resolved = op_response
+            time.sleep(policy.delay(f"op{head.request.id}", head.attempts + 1))
+            tally.replayed += len(retryable)
+            for op in retryable:
+                op.request = dataclasses.replace(
+                    op.request, attempt=op.request.attempt + 1
+                )
+                op.future = service.submit(op.request)
+            return
+        if retry_safe(head.request.op, response.status):
+            tally.exhausted += 1
+        pending.popleft()
+        tally.record(response, (now_ns() - head.first_ns) / 1000.0)
+
     for request in tenant_requests(config, tenant):
-        if len(window) >= config.window:
-            future, t0 = window.popleft()
-            tally.record(future.result(), (now_ns() - t0) / 1000.0)
-        window.append((service.submit(request), now_ns()))
-    while window:
-        future, t0 = window.popleft()
-        tally.record(future.result(), (now_ns() - t0) / 1000.0)
+        while len(pending) >= config.window or (
+            guard_addrs
+            and request.addr is not None
+            and _addr_busy(pending, request.addr)
+        ):
+            resolve_head()
+        pending.append(
+            _Inflight(request, now_ns(), 1, future=service.submit(request))
+        )
+    while pending:
+        resolve_head()
 
 
 def _drive_tcp(
@@ -254,15 +455,135 @@ def _drive_tcp(
     tenant: int,
     tally: _StreamTally,
 ) -> None:
-    sent: Deque[int] = deque()
-    with ServiceClient(host, port) as client:
+    policy = config.retry_policy(tenant)
+    pending: Deque[_Inflight] = deque()
+    guard_addrs = config.service.chaos is not None
+    client = ServiceClient(host, port, timeout=config.client_timeout)
+
+    def reconnect() -> None:
+        tally.reconnects += 1
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                client.reconnect()
+                return
+            except OSError:
+                if attempt == policy.max_attempts:
+                    raise
+                time.sleep(policy.delay("reconnect", attempt + 1))
+
+    def replay_suffix() -> None:
+        """Re-send every unresolved pending request, in order, live."""
+        unresolved = [op for op in pending if op.resolved is None]
+        tally.replayed += len(unresolved)
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                for op in unresolved:
+                    client.send(op.request)
+                return
+            except (ConnectionError, OSError):
+                if attempt == policy.max_attempts:
+                    raise
+                reconnect()
+
+    def resolve_head() -> None:
+        head = pending[0]
+        if head.resolved is not None:
+            _pop_resolved(pending, tally)
+            return
+        try:
+            response = client.recv()
+        except (ConnectionError, OSError):
+            # Dropped mid-stream: everything unresolved is unacknowledged;
+            # reconnect and replay the window (dedup suppresses re-runs).
+            reconnect()
+            replay_suffix()
+            return
+        if response.id != head.request.id:
+            raise AssertionError(
+                f"tenant {tenant}: response id {response.id} does not match "
+                f"head-of-window request id {head.request.id}"
+            )
+        if (
+            retry_safe(head.request.op, response.status)
+            and head.attempts < policy.max_attempts
+        ):
+            tally.record_transient(response.status)
+            tally.retries += 1
+            head.attempts += 1
+            dirty = set() if head.request.addr is None else {head.request.addr}
+            # Drain the in-flight tail — TCP ordering guarantees these are
+            # exactly the responses to the already-sent unresolved suffix.
+            # A final outcome is kept and NOT re-executed (the exactly-once
+            # cache dies with a crashed worker; a re-run read would observe
+            # later committed writes) — UNLESS its block address already
+            # yielded a retry-safe outcome earlier in the window: same
+            # address means same shard, the shard queue is FIFO, so that
+            # final was submitted after the crash and computed out of
+            # program order; it is discarded and re-executed instead.
+            try:
+                for op in list(pending)[1:]:
+                    if op.resolved is not None:
+                        continue
+                    op_response = client.recv()
+                    if op_response.id != op.request.id:
+                        raise AssertionError(
+                            f"tenant {tenant}: drained response id "
+                            f"{op_response.id} does not match in-flight "
+                            f"request id {op.request.id}"
+                        )
+                    addr = op.request.addr
+                    if (
+                        retry_safe(op.request.op, op_response.status)
+                        or (addr is not None and addr in dirty)
+                    ) and op.attempts < policy.max_attempts:
+                        tally.record_transient(op_response.status)
+                        op.attempts += 1
+                        if addr is not None:
+                            dirty.add(addr)
+                    else:
+                        op.resolved = op_response
+            except (ConnectionError, OSError):
+                # Whatever was not drained stays unresolved and is re-sent.
+                reconnect()
+            # Every unresolved op on a dirty address must re-execute fresh:
+            # bump its attempt so the dedup cache cannot answer a stale
+            # out-of-order execution.  This covers ops drained retry-safe
+            # above AND ops a mid-drain connection drop left unread (if
+            # such an op executed at all, it executed after its address's
+            # failed predecessor).  Unresolved ops elsewhere keep their
+            # attempt — if one executed and only the ack was lost, the
+            # cache must answer the original outcome.
+            for op in pending:
+                if op.resolved is None and op.request.addr in dirty:
+                    op.request = dataclasses.replace(
+                        op.request, attempt=op.request.attempt + 1
+                    )
+            time.sleep(policy.delay(f"op{head.request.id}", head.attempts))
+            replay_suffix()
+            return
+        if retry_safe(head.request.op, response.status):
+            tally.exhausted += 1
+        pending.popleft()
+        tally.record(response, (now_ns() - head.first_ns) / 1000.0)
+
+    try:
         for request in tenant_requests(config, tenant):
-            if len(sent) >= config.window:
-                tally.record(client.recv(), (now_ns() - sent.popleft()) / 1000.0)
-            sent.append(now_ns())
-            client.send(request)
-        while sent:
-            tally.record(client.recv(), (now_ns() - sent.popleft()) / 1000.0)
+            while len(pending) >= config.window or (
+                guard_addrs
+                and request.addr is not None
+                and _addr_busy(pending, request.addr)
+            ):
+                resolve_head()
+            pending.append(_Inflight(request, now_ns(), 1))
+            try:
+                client.send(request)
+            except (ConnectionError, OSError):
+                reconnect()
+                replay_suffix()
+        while pending:
+            resolve_head()
+    finally:
+        client.close()
 
 
 # -- parity verification ------------------------------------------------------
@@ -274,6 +595,13 @@ def _memo_counters(service: COPService) -> Dict[str, int]:
         for key in totals:
             totals[key] += shard.registry.counter(f"kernels.memo.{key}").value
     return totals
+
+
+def _shard_counter_total(service: COPService, suffix: str) -> int:
+    total = 0
+    for shard in service.shards:
+        total += shard.registry.counter(f"{shard.prefix}.{suffix}").value
+    return total
 
 
 def _contents_digests(service: COPService) -> List[str]:
@@ -288,13 +616,24 @@ def _contents_digests(service: COPService) -> List[str]:
 
 
 def verify_parity(
-    service: COPService, config: LoadgenConfig, tallies: List[_StreamTally]
+    service: COPService,
+    config: LoadgenConfig,
+    tallies: List[_StreamTally],
+    strict: Optional[bool] = None,
 ) -> Dict[str, object]:
     """Replay the schedule serially on a replica; compare everything.
 
-    Returns a report fragment; raises ``AssertionError`` on any mismatch
-    (contents, controller stats, memo counters, response streams) or if
-    either side evicted from the memo.
+    Returns a report fragment; raises ``AssertionError`` on any mismatch.
+    ``strict`` (default: auto — strict exactly when no chaos is injected)
+    controls how much must match:
+
+    * strict — per-tenant response digests, per-shard contents,
+      controller stats, memo counters, ``evictions == 0``, and no
+      restarts/shedding (those would mean the run wasn't clean).
+    * non-strict (chaos) — per-tenant **final** response digests and
+      per-shard contents only.  Counter totals legitimately diverge:
+      recovery re-executes WAL records and duplicate deliveries are
+      answered from the exactly-once cache.
     """
     if config.service.mode is ProtectionMode.COP_ER:
         raise ValueError(
@@ -303,7 +642,17 @@ def verify_parity(
         )
     if config.service.admission != "block":
         raise ValueError("parity verification requires admission='block'")
-    replica = COPService(config.service)
+    if strict is None:
+        strict = config.service.chaos is None
+    if any(tally.exhausted for tally in tallies):
+        raise AssertionError(
+            "a retry-safe status was recorded as final (retry budget "
+            "exhausted); raise retry_attempts — parity cannot hold"
+        )
+    replica_config = dataclasses.replace(
+        config.service, chaos=None, wal_dir=None, supervise=False
+    )
+    replica = COPService(replica_config)
     replay_tallies = [_StreamTally() for _ in range(config.tenants)]
     for request in interleave(config):
         shard = replica.shards[replica.route(request)]
@@ -319,6 +668,14 @@ def verify_parity(
     live_contents = _contents_digests(service)
     replay_contents = _contents_digests(replica)
     assert live_contents == replay_contents, "per-shard contents diverged"
+    report: Dict[str, object] = {
+        "verified": True,
+        "strict": strict,
+        "response_digests": live_digests,
+        "contents_digests": live_contents,
+    }
+    if not strict:
+        return report
     for live, other in zip(service.shards, replica.shards):
         assert live.memory.stats.as_dict() == other.memory.stats.as_dict(), (
             f"controller stats diverged on shard {live.index}"
@@ -332,12 +689,16 @@ def verify_parity(
         "memo evicted during the run; the counter-parity contract requires "
         "the working set to fit (shrink blocks_per_tenant/content_versions)"
     )
-    return {
-        "verified": True,
-        "response_digests": live_digests,
-        "contents_digests": live_contents,
-        "memo": live_memo,
-    }
+    restarts = _shard_counter_total(service, "restarts")
+    shed = _shard_counter_total(service, "deadline_shed") + _shard_counter_total(
+        service, "overload_shed"
+    )
+    assert restarts == 0 and shed == 0, (
+        f"strict parity on a non-clean run (restarts={restarts}, "
+        f"shed={shed}); pass strict=False (or inject chaos via config)"
+    )
+    report["memo"] = live_memo
+    return report
 
 
 # -- reporting ----------------------------------------------------------------
@@ -361,6 +722,13 @@ class LoadReport:
     controller: Dict[str, int]
     memo: Dict[str, int]
     rejected_busy: int
+    #: Transient (retried, non-final) statuses summed across tenants.
+    transient: Dict[str, int] = field(default_factory=dict)
+    #: Self-healing counters: client retries/reconnects/suffix replays and
+    #: server restarts/shedding/WAL activity (docs/service.md).
+    resilience: Dict[str, int] = field(default_factory=dict)
+    #: Canonical chaos spec when fault injection was on (None: clean run).
+    chaos: Optional[str] = None
     parity: Optional[Dict[str, object]] = None
     #: Lock-sanitizer counters when the run was sanitized
     #: (``REPRO_SANITIZE=locks``); ``None`` on plain runs so the
@@ -369,7 +737,7 @@ class LoadReport:
 
     def as_dict(self) -> Dict[str, object]:
         return {
-            "schema": 1,
+            "schema": 2,
             "ops": self.ops,
             "tenants": self.tenants,
             "shards": self.shards,
@@ -384,6 +752,9 @@ class LoadReport:
             "controller": self.controller,
             "memo": self.memo,
             "rejected_busy": self.rejected_busy,
+            "transient": self.transient,
+            "resilience": self.resilience,
+            "chaos": self.chaos,
             "parity": self.parity,
             "sanitizer": self.sanitizer,
         }
@@ -410,8 +781,23 @@ class LoadReport:
             f"evictions={self.memo.get('evictions', 0)}  "
             f"rejected_busy={self.rejected_busy}",
         ]
+        if self.chaos is not None:
+            res = self.resilience
+            lines.append(f"  chaos: {self.chaos}")
+            lines.append(
+                f"  resilience: restarts={res.get('restarts', 0)} "
+                f"worker_crashes={res.get('worker_crashes', 0)} "
+                f"retries={res.get('retries', 0)} "
+                f"reconnects={res.get('reconnects', 0)} "
+                f"conn_drops={res.get('conn_drops', 0)} "
+                f"wal_records={res.get('wal_records', 0)} "
+                f"wal_replayed={res.get('wal_replayed', 0)}"
+            )
         if self.parity is not None:
-            lines.append("  parity: OK (serial replay byte-identical)")
+            mode = "strict" if self.parity.get("strict", True) else "chaos"
+            lines.append(
+                f"  parity: OK ({mode}; serial replay byte-identical)"
+            )
         if self.sanitizer is not None:
             lines.append(
                 f"  sanitizer: acquires={self.sanitizer.get('acquires', 0)} "
@@ -432,10 +818,19 @@ def _collect_report(
 ) -> LoadReport:
     samples: List[float] = []
     statuses: Dict[str, int] = {}
+    transient: Dict[str, int] = {}
+    resilience: Dict[str, int] = {
+        "retries": sum(t.retries for t in tallies),
+        "reconnects": sum(t.reconnects for t in tallies),
+        "replayed": sum(t.replayed for t in tallies),
+        "exhausted": sum(t.exhausted for t in tallies),
+    }
     for tally in tallies:
         samples.extend(tally.latencies_us)
         for key, count in tally.statuses.items():
             statuses[key] = statuses.get(key, 0) + count
+        for key, count in tally.transient.items():
+            transient[key] = transient.get(key, 0) + count
     latency = {
         "p50": percentile_of(samples, 50.0),
         "p90": percentile_of(samples, 90.0),
@@ -449,10 +844,26 @@ def _collect_report(
     if service is not None:
         controller = service.merged_stats().as_dict()
         memo = _memo_counters(service)
-        for shard in service.shards:
-            rejected += shard.registry.counter(
-                f"{shard.prefix}.rejected_busy"
+        rejected = _shard_counter_total(service, "rejected_busy")
+        for suffix in (
+            "restarts",
+            "worker_crashes",
+            "retryable",
+            "deadline_shed",
+            "overload_shed",
+            "breaker_trips",
+            "dedup_hits",
+            "wal_records",
+            "wal_commits",
+            "wal_replayed",
+            "wal_compactions",
+        ):
+            resilience[suffix] = _shard_counter_total(service, suffix)
+        for name in ("conn_drops", "chaos_conn_drops"):
+            resilience[name] = service.registry.counter(
+                f"service.server.{name}"
             ).value
+    chaos = config.service.chaos
     return LoadReport(
         ops=config.ops,
         tenants=config.tenants,
@@ -468,6 +879,9 @@ def _collect_report(
         controller=controller,
         memo=memo,
         rejected_busy=rejected,
+        transient=transient,
+        resilience=resilience,
+        chaos=chaos.describe() if chaos is not None else None,
         parity=parity,
         sanitizer=lock_sanitizer.report() if lock_sanitizer.enabled() else None,
     )
@@ -489,6 +903,10 @@ def run_loadgen(
       and drive it over sockets (the CI smoke path),
     * ``connect=(host, port)`` — drive an external daemon (no parity:
       its shards aren't reachable for inspection).
+
+    A tenant driver that dies (retry budget exhausted against a downed
+    server, say) re-raises here instead of silently producing a partial
+    report.
     """
     if verify and connect is not None:
         raise ValueError("--verify needs in-process shard access; drop --connect")
@@ -498,9 +916,17 @@ def run_loadgen(
     tallies = [_StreamTally() for _ in range(config.tenants)]
 
     def run_threads(target: Callable[..., None], *args: object) -> float:
+        failures: List[BaseException] = []
+
+        def guarded(*thread_args: object) -> None:
+            try:
+                target(*thread_args)
+            except BaseException as exc:  # repro: noqa[REP006] - re-raised after join
+                failures.append(exc)
+
         threads = [
             threading.Thread(
-                target=target,
+                target=guarded,
                 args=(*args, tenant, tallies[tenant]),
                 name=f"loadgen-t{tenant}",
             )
@@ -511,6 +937,8 @@ def run_loadgen(
             thread.start()
         for thread in threads:
             thread.join()
+        if failures:
+            raise failures[0]
         return (now_ns() - t0) / 1e9
 
     if connect is not None:

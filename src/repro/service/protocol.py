@@ -16,11 +16,20 @@ Operations
             response proves the whole queue/batch path is draining)
 ``stats``   merged controller/shard counters (answered by the front end
             without entering a shard queue)
+``health``  per-shard liveness/recovery/breaker snapshot (front end)
 
 Every failure is a *typed* status, never a bare 500: a read of a
 never-written block maps :class:`~repro.core.controller.BlockNotWrittenError`
 to ``not-written``, COP's alias rejection maps to ``alias-reject``, an
 admission-control drop to ``busy``, malformed input to ``bad-request``.
+
+The resilience layer (docs/service.md, "Resilience") adds three more
+typed outcomes, all of which guarantee the request was **never
+executed** and is therefore safe to retry for any op, including writes:
+``retryable`` (the home shard worker died and was restarted; in-flight
+work was discarded before commit), ``deadline-exceeded`` (the request's
+``deadline_ms`` elapsed while queued; it was shed before execution) and
+``overloaded`` (the shard breaker is open and shed this optional op).
 """
 
 from __future__ import annotations
@@ -40,8 +49,9 @@ __all__ = [
     "Status",
 ]
 
-#: Operations a request may carry (``stats`` is served by the front end).
-OPS = ("write", "read", "encode", "decode", "ping", "stats")
+#: Operations a request may carry (``stats`` and ``health`` are served
+#: by the front end).
+OPS = ("write", "read", "encode", "decode", "ping", "stats", "health")
 
 
 class ProtocolError(ValueError):
@@ -64,7 +74,16 @@ class Status(enum.Enum):
     #: The daemon is stopping and no longer accepts work.
     SHUTDOWN = "shutdown"
     #: Unexpected server-side failure (counted per shard, never silent).
+    #: Ambiguous for writes: the op may or may not have executed, so
+    #: write retries must never key off this status (REP011).
     INTERNAL = "internal"
+    #: The home shard worker died before this request committed; the op
+    #: definitely did not take effect — safe to retry, even writes.
+    RETRYABLE = "retryable"
+    #: ``deadline_ms`` elapsed while queued; shed before execution.
+    DEADLINE_EXCEEDED = "deadline-exceeded"
+    #: Shard breaker open; optional work (encode/decode) shed unexecuted.
+    OVERLOADED = "overloaded"
 
 
 @dataclass(frozen=True)
@@ -77,6 +96,17 @@ class Request:
     data: Optional[bytes] = None
     #: Free-form client label; lands in per-tenant request counters.
     tenant: str = ""
+    #: Queueing budget: if set, the shard sheds the request with
+    #: ``deadline-exceeded`` when this many milliseconds elapse between
+    #: enqueue and execution (never mid-execution).
+    deadline_ms: Optional[int] = None
+    #: Retry generation.  The exactly-once cache deduplicates on
+    #: ``(id, attempt)``: a client re-sending an unacknowledged request
+    #: keeps the attempt (a duplicate delivery answers from the cache),
+    #: while a client that *knows* the previous answer is stale — it
+    #: arrived out of order after the home shard crashed under an
+    #: unresent predecessor — bumps it to force a fresh execution.
+    attempt: int = 0
 
     def to_wire(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {"op": self.op, "id": self.id}
@@ -86,6 +116,10 @@ class Request:
             out["data"] = self.data.hex()
         if self.tenant:
             out["tenant"] = self.tenant
+        if self.deadline_ms is not None:
+            out["deadline_ms"] = self.deadline_ms
+        if self.attempt:
+            out["attempt"] = self.attempt
         return out
 
     def to_json(self) -> str:
@@ -114,7 +148,29 @@ class Request:
         tenant = payload.get("tenant", "")
         if not isinstance(tenant, str):
             raise ProtocolError(f"tenant must be a string, got {tenant!r}")
-        return cls(op=op, id=request_id, addr=addr, data=data, tenant=tenant)
+        deadline_ms = payload.get("deadline_ms")
+        if deadline_ms is not None and (
+            isinstance(deadline_ms, bool)
+            or not isinstance(deadline_ms, int)
+            or deadline_ms < 1
+        ):
+            raise ProtocolError(
+                f"deadline_ms must be a positive integer, got {deadline_ms!r}"
+            )
+        attempt = payload.get("attempt", 0)
+        if isinstance(attempt, bool) or not isinstance(attempt, int) or attempt < 0:
+            raise ProtocolError(
+                f"attempt must be a non-negative integer, got {attempt!r}"
+            )
+        return cls(
+            op=op,
+            id=request_id,
+            addr=addr,
+            data=data,
+            tenant=tenant,
+            deadline_ms=deadline_ms,
+            attempt=attempt,
+        )
 
     @classmethod
     def from_json(cls, line: str) -> "Request":

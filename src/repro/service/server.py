@@ -12,19 +12,39 @@ Each client connection gets a reader (the handler thread) and a writer
 thread joined by an in-order future queue, so clients may pipeline many
 requests on one socket — responses always come back in request order,
 while the shards batch whatever is in flight.
+
+Resilience (docs/service.md, "Resilience"):
+
+* ``config.supervise`` (default on) runs a
+  :class:`~repro.service.supervisor.Supervisor` beside the shards, so a
+  dead worker is WAL-replayed and restarted instead of silently eating
+  its queue.
+* A peer that drops mid-pipeline increments ``service.server.conn_drops``
+  and releases the writer thread promptly (no traceback, no waiting on
+  futures whose responses can no longer be delivered).
+* :class:`ServiceClient` exposes the retry building blocks: a
+  ``RetryPolicy`` with deterministic seeded-jitter exponential backoff
+  (:func:`repro.experiments.resilience.backoff_delay`) and the
+  idempotency-aware :func:`retry_safe` predicate — reads/encodes retry
+  freely, writes retry only on never-executed statuses or connection
+  errors, never on ambiguous ``INTERNAL``.
 """
 
 from __future__ import annotations
 
+import itertools
 import queue
 import socket
 import socketserver
 import threading
+import time
 from concurrent.futures import Future
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.analysis import sanitizer
 from repro.core.controller import ControllerStats
+from repro.experiments.resilience import backoff_delay
 from repro.obs.metrics import MetricsRegistry
 from repro.service.protocol import (
     ProtocolError,
@@ -35,11 +55,70 @@ from repro.service.protocol import (
 from repro.service.shard import (
     ServiceConfig,
     Shard,
-    shard_of_addr,
-    shard_of_data,
+    route_request,
+)
+from repro.service.supervisor import Supervisor
+
+__all__ = [
+    "COPService",
+    "RetryPolicy",
+    "ServiceClient",
+    "ServiceServer",
+    "parse_host_port",
+    "retry_safe",
+]
+
+
+#: Statuses that guarantee the op was never executed — safe to retry for
+#: every op, including writes (see protocol.py docstrings).
+NEVER_EXECUTED_STATUSES: FrozenSet[Status] = frozenset(
+    {
+        Status.RETRYABLE,
+        Status.BUSY,
+        Status.DEADLINE_EXCEEDED,
+        Status.OVERLOADED,
+    }
 )
 
-__all__ = ["COPService", "ServiceClient", "ServiceServer", "parse_host_port"]
+#: Statuses additionally retryable for side-effect-free ops only.
+#: INTERNAL is ambiguous — the op may have half-executed — so it must
+#: never appear in a write-retry set (lint rule REP011 guards the
+#: inverse pattern: INTERNAL grouped with RETRYABLE in one retry set).
+READONLY_RETRY_STATUSES: FrozenSet[Status] = frozenset({Status.INTERNAL})
+
+_WRITE_OPS: FrozenSet[str] = frozenset({"write"})
+
+
+def retry_safe(op: str, status: Status) -> bool:
+    """Is retrying ``op`` after ``status`` safe (exactly-once preserving)?"""
+    if status in NEVER_EXECUTED_STATUSES:
+        return True
+    if status in READONLY_RETRY_STATUSES:
+        return op not in _WRITE_OPS
+    return False
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with deterministic seeded-jitter backoff."""
+
+    #: Total tries per op, the first included.
+    max_attempts: int = 8
+    backoff_base: float = 0.005
+    backoff_cap: float = 0.25
+    #: Namespaces the jitter stream (e.g. one per tenant driver).
+    seed: str = "client"
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be positive")
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (2 = first retry) of op ``key``."""
+        return backoff_delay(
+            f"{self.seed}|{key}", attempt, base=self.backoff_base,
+            cap=self.backoff_cap,
+        )
 
 
 class COPService:
@@ -48,6 +127,16 @@ class COPService:
     def __init__(self, config: Optional[ServiceConfig] = None) -> None:
         self.config = config or ServiceConfig()
         self.shards = [Shard(i, self.config) for i in range(self.config.shards)]
+        #: Front-end metrics (connection drops etc.), merged alongside the
+        #: per-shard registries.
+        self.registry = MetricsRegistry()
+        self._c_conn_drops = self.registry.counter("service.server.conn_drops")
+        self._c_chaos_drops = self.registry.counter(
+            "service.server.chaos_conn_drops"
+        )
+        self.supervisor: Optional[Supervisor] = (
+            Supervisor(self.shards) if self.config.supervise else None
+        )
         self._started = False
 
     # -- lifecycle -----------------------------------------------------------
@@ -57,10 +146,18 @@ class COPService:
             raise RuntimeError("service already started")
         for shard in self.shards:
             shard.start()
+        if self.supervisor is not None:
+            self.supervisor.start()
         self._started = True
 
     def stop(self) -> None:
-        """Drain every shard queue and stop the workers (idempotent)."""
+        """Drain every shard queue and stop the workers (idempotent).
+
+        The supervisor stops first so a draining worker's planned exit is
+        not mistaken for a crash and "recovered" mid-shutdown.
+        """
+        if self.supervisor is not None and self._started:
+            self.supervisor.stop()
         for shard in self.shards:
             shard.stop()
         self._started = False
@@ -76,18 +173,16 @@ class COPService:
 
     def route(self, request: Request) -> int:
         """Home shard of a request (deterministic across processes)."""
-        if request.op in ("write", "read") and request.addr is not None:
-            return shard_of_addr(request.addr, self.config.shards)
-        if request.op in ("encode", "decode") and request.data is not None:
-            return shard_of_data(request.data, self.config.shards)
-        # Pings (and malformed requests, which the shard will reject with
-        # a typed status) spread round-robin by request id.
-        return request.id % self.config.shards
+        return route_request(request, self.config.shards)
 
     def submit(self, request: Request) -> "Future[Response]":
-        if request.op == "stats":
+        if request.op in ("stats", "health"):
             done: "Future[Response]" = Future()
-            done.set_result(self.stats_response(request))
+            done.set_result(
+                self.stats_response(request)
+                if request.op == "stats"
+                else self.health_response(request)
+            )
             return done
         return self.shards[self.route(request)].submit(request)
 
@@ -106,6 +201,7 @@ class COPService:
     def merged_registry(self) -> MetricsRegistry:
         """One registry holding every shard's metrics, merged in shard order."""
         merged = MetricsRegistry()
+        merged.merge(self.registry)
         for shard in self.shards:
             merged.merge(shard.registry)
         return merged
@@ -120,6 +216,20 @@ class COPService:
         }
         return Response(id=request.id, status=Status.OK, payload=payload)
 
+    def health_response(self, request: Request) -> Response:
+        """Answer the ``health`` op: per-shard liveness/breaker/WAL state."""
+        shard_health = [shard.health() for shard in self.shards]
+        payload: Dict[str, Any] = {
+            "supervised": self.supervisor is not None,
+            "conn_drops": self._c_conn_drops.value,
+            "shards": shard_health,
+            "restarts": sum(int(h["restarts"]) for h in shard_health),
+            "breakers_open": sum(
+                1 for h in shard_health if h["breaker_open"]
+            ),
+        }
+        return Response(id=request.id, status=Status.OK, payload=payload)
+
 
 class _Handler(socketserver.StreamRequestHandler):
     """One client connection: in-order pipelined request/response stream."""
@@ -127,9 +237,10 @@ class _Handler(socketserver.StreamRequestHandler):
     server: "ServiceServer"
 
     def handle(self) -> None:
+        conn_id = self.server.next_conn_id()
         pending: "queue.Queue[Optional[Future[Response]]]" = queue.Queue()
         writer = threading.Thread(
-            target=self._write_loop, args=(pending,), daemon=True
+            target=self._write_loop, args=(pending, conn_id), daemon=True
         )
         writer.start()
         try:
@@ -138,6 +249,10 @@ class _Handler(socketserver.StreamRequestHandler):
                 if not line:
                     continue
                 pending.put(self._submit_line(line))
+        except OSError:
+            # Peer reset mid-read (abrupt close, injected drop): a normal
+            # connection drop, not a server bug — count it, no traceback.
+            self.server.service.registry.inc("service.server.conn_drops")
         finally:
             pending.put(None)
             writer.join()
@@ -154,19 +269,41 @@ class _Handler(socketserver.StreamRequestHandler):
         return self.server.service.submit(request)
 
     def _write_loop(
-        self, pending: "queue.Queue[Optional[Future[Response]]]"
+        self,
+        pending: "queue.Queue[Optional[Future[Response]]]",
+        conn_id: int,
     ) -> None:
+        chaos = self.server.service.config.chaos
+        registry = self.server.service.registry
+        response_seq = 0
+        broken = False
         while True:
             future = pending.get()
             if future is None:
                 return
+            if broken:
+                # Peer is gone: drain the queue without waiting on the
+                # futures so this thread exits as soon as the reader does,
+                # instead of idling until every in-flight op completes.
+                continue
             response = future.result()
             try:
                 self.wfile.write(response.to_json().encode("utf-8") + b"\n")
             except (OSError, ValueError):
-                # Client went away mid-stream; drain remaining futures so
-                # shard workers aren't left with unread results.
+                # Client went away mid-stream with responses still queued.
+                registry.inc("service.server.conn_drops")
+                broken = True
                 continue
+            response_seq += 1
+            if chaos is not None and chaos.drops_connection(conn_id, response_seq):
+                # Injected drop: sever both directions so the reader gets
+                # EOF promptly and the client sees a clean reset.
+                registry.inc("service.server.chaos_conn_drops")
+                broken = True
+                try:
+                    self.connection.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
 
 
 class ServiceServer(socketserver.ThreadingTCPServer):
@@ -190,6 +327,13 @@ class ServiceServer(socketserver.ThreadingTCPServer):
         self.service = service or COPService()
         super().__init__((host, port), _Handler)
         self._serve_thread: Optional[threading.Thread] = None
+        self._conn_counter = itertools.count()
+        self._conn_lock = sanitizer.new_lock("service.server.conn_ids")
+
+    def next_conn_id(self) -> int:
+        """Monotonic connection id (the conn-drop chaos identity)."""
+        with self._conn_lock:
+            return next(self._conn_counter)
 
     def start(self) -> None:
         """Start the shards and serve connections on a background thread."""
@@ -199,10 +343,19 @@ class ServiceServer(socketserver.ThreadingTCPServer):
         )
         self._serve_thread.start()
 
-    def wait(self, timeout: Optional[float] = None) -> None:
-        """Block until the accept loop exits (or the timeout elapses)."""
-        if self._serve_thread is not None:
-            self._serve_thread.join(timeout)
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the accept loop exits (or the timeout elapses).
+
+        Returns ``True`` when the accept loop has actually exited (or was
+        never started), ``False`` when the timeout elapsed with the loop
+        still serving — so callers can loop ``while not server.wait(n)``
+        and react to a daemon that died versus one that is just alive.
+        """
+        thread = self._serve_thread
+        if thread is None:
+            return True
+        thread.join(timeout)
+        return not thread.is_alive()
 
     def shutdown_service(self) -> None:
         """Stop accepting, drain the shards, release the socket."""
@@ -222,18 +375,43 @@ class ServiceServer(socketserver.ThreadingTCPServer):
 
 
 class ServiceClient:
-    """Minimal blocking JSON-lines client with windowed pipelining."""
+    """Minimal blocking JSON-lines client with windowed pipelining.
+
+    ``timeout`` bounds both the initial connect and every socket
+    operation afterwards (it becomes the socket timeout), so a hung
+    daemon surfaces as ``socket.timeout`` (an ``OSError``) instead of a
+    silent stall.  :meth:`reconnect` tears down and re-dials the same
+    endpoint — the building block for retry-on-connection-drop.
+    """
 
     def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._rfile = self._sock.makefile("rb")
+        self._host = host
+        self._port = port
+        self._timeout = timeout
         self._lock = sanitizer.new_lock("service.client")
+        self.reconnects = 0
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        self._rfile = self._sock.makefile("rb")
 
     def close(self) -> None:
         try:
             self._rfile.close()
         finally:
             self._sock.close()
+
+    def reconnect(self) -> None:
+        """Drop the current connection (quietly) and dial a fresh one."""
+        try:
+            self.close()
+        except OSError:
+            pass
+        self._connect()
+        self.reconnects += 1
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -256,6 +434,35 @@ class ServiceClient:
         with self._lock:  # sanctioned[blocking-under-lock]: lock serialises the socket
             self.send(request)
             return self.recv()
+
+    def call_with_retry(
+        self, request: Request, policy: Optional[RetryPolicy] = None
+    ) -> Response:
+        """One op with idempotency-aware retries and reconnect-on-drop.
+
+        Retries when :func:`retry_safe` allows it for this op's status,
+        and on connection errors (reconnecting first) — those are always
+        safe here because a request/response pair either completed or the
+        server's exactly-once cache will suppress the duplicate.  The
+        final attempt's response (or the terminal status) is returned;
+        connection errors on the last attempt re-raise.
+        """
+        policy = policy or RetryPolicy()
+        response: Optional[Response] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                time.sleep(policy.delay(f"op{request.id}", attempt))
+            try:
+                response = self.call(request)
+            except (ConnectionError, OSError):
+                if attempt == policy.max_attempts:
+                    raise
+                self.reconnect()
+                continue
+            if not retry_safe(request.op, response.status):
+                return response
+        assert response is not None
+        return response
 
     def call_pipelined(
         self, requests: List[Request], window: int = 32

@@ -38,6 +38,32 @@ still batch-boundary independent, just not vectorised.  COP-ER is
 additionally excluded from the cross-thread parity contract because its
 ECC-region entry indices depend on the global allocation order, which
 thread interleaving perturbs (docs/service.md).
+
+Resilience (docs/service.md, "Resilience")
+------------------------------------------
+
+With ``wal_dir`` set, every *accepted* write is framed into a per-shard
+:class:`~repro.service.wal.ShardWAL` and group-committed (flush+fsync)
+once per drained batch **before** any future in the batch resolves, so
+an acknowledged write is durable by construction.  A worker that dies
+(a bug, or injected :class:`~repro.service.chaos.ChaosWorkerKill`) flags
+itself; the :class:`~repro.service.supervisor.Supervisor` then calls
+:meth:`Shard.recover`, which answers all queued/in-flight futures with
+``Status.RETRYABLE`` (none of them committed), rebuilds the
+``ProtectedMemory`` by replaying the WAL's last-write-per-address, and
+restarts the worker.  Requests arriving mid-recovery are answered
+``RETRYABLE`` immediately.
+
+Three more shedding mechanisms keep the shard honest under pressure:
+requests whose ``deadline_ms`` elapsed in the queue are shed *before*
+execution (``DEADLINE_EXCEEDED``); a breaker past a queue-depth or
+consecutive-error threshold sheds optional work — prewarm off,
+``encode``/``decode`` answered ``OVERLOADED`` — while writes and reads
+keep flowing; and when the WAL or chaos is active an exactly-once
+response cache (keyed by request id) answers duplicate deliveries from
+client retries with the *original* outcome instead of re-executing,
+which keeps pipelined suffix-replay byte-identical to the serial
+schedule.
 """
 
 from __future__ import annotations
@@ -45,10 +71,13 @@ from __future__ import annotations
 import dataclasses
 import queue
 import threading
+import time
 import zlib
+from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from pathlib import Path
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple, Union
 
 from repro.compression.base import BLOCK_BYTES
 from repro.core.codec import EncodedBlock
@@ -63,6 +92,7 @@ from repro.kernels import BatchCodec, MemoizedCodec, blocks_to_array
 from repro.obs import Observability
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.perf import now_ns
+from repro.service.chaos import ChaosWorkerKill, ServiceChaosConfig
 from repro.service.protocol import (
     Request,
     Response,
@@ -70,10 +100,12 @@ from repro.service.protocol import (
     check_addr,
     check_payload,
 )
+from repro.service.wal import ShardWAL
 
 __all__ = [
     "ServiceConfig",
     "Shard",
+    "route_request",
     "shard_of_addr",
     "shard_of_data",
 ]
@@ -99,6 +131,26 @@ class ServiceConfig:
     #: ``block`` parks callers on a full queue; ``reject`` answers BUSY.
     admission: str = "block"
     capacity_bytes: int = 8 << 30
+    #: Directory for per-shard write-ahead journals.  ``None`` disables
+    #: the WAL — supervisor restarts then recover an *empty* shard, so
+    #: set this whenever worker deaths are possible (chaos, production).
+    wal_dir: Optional[str] = None
+    #: Have :class:`~repro.service.server.COPService` run a Supervisor so
+    #: dead shard workers are detected, WAL-replayed and restarted.
+    supervise: bool = True
+    #: Breaker trips when queue depth reaches this fraction of
+    #: ``queue_depth`` (resets at half the trip depth).
+    breaker_queue_fraction: float = 0.9
+    #: Breaker trips after this many consecutive INTERNAL errors.
+    breaker_trip_errors: int = 8
+    #: Exactly-once response-cache entries per shard.  The cache turns on
+    #: automatically when the WAL or chaos is configured (client retries
+    #: can then deliver duplicates); it requires globally unique request
+    #: ids, which the loadgen's ``tenant << 40 | seq`` scheme provides.
+    exactly_once_depth: int = 1 << 17
+    #: Service-layer fault injection (``REPRO_CHAOS``; see
+    #: :mod:`repro.service.chaos`).
+    chaos: Optional[ServiceChaosConfig] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -111,6 +163,17 @@ class ServiceConfig:
             raise ValueError(
                 f"admission must be 'block' or 'reject', got {self.admission!r}"
             )
+        if not 0.0 < self.breaker_queue_fraction <= 1.0:
+            raise ValueError("breaker_queue_fraction must be in (0, 1]")
+        if self.breaker_trip_errors < 1:
+            raise ValueError("breaker_trip_errors must be positive")
+        if self.exactly_once_depth < 1:
+            raise ValueError("exactly_once_depth must be positive")
+
+    @property
+    def exactly_once(self) -> bool:
+        """Duplicate-delivery suppression is on when retries are possible."""
+        return self.wal_dir is not None or self.chaos is not None
 
 
 _GOLDEN = 0x9E3779B97F4A7C15
@@ -136,6 +199,22 @@ def shard_of_data(data: bytes, shards: int) -> int:
     salted per process, which would break cross-process replay.
     """
     return zlib.crc32(data) % shards
+
+
+def route_request(request: Request, shards: int) -> int:
+    """Home shard of a request — deterministic across processes.
+
+    Shared by the front end (dispatch), the serial replay (parity), and
+    the loadgen drivers (which need to know, client-side, whether two
+    pending ops share a shard when deciding what a crash invalidated).
+    """
+    if request.op in ("write", "read") and request.addr is not None:
+        return shard_of_addr(request.addr, shards)
+    if request.op in ("encode", "decode") and request.data is not None:
+        return shard_of_data(request.data, shards)
+    # Pings (and malformed requests, which the shard will reject with a
+    # typed status) spread round-robin by request id.
+    return request.id % shards
 
 
 class _Stop:
@@ -176,10 +255,35 @@ class Shard:
             maxsize=config.queue_depth
         )
         self._stopping = False  # shared
+        self._crashed = False  # shared
+        self._recovering = False  # shared
         self._thread: Optional[threading.Thread] = None
+        #: Supervisor nudge; set (under no lock: write-once before start)
+        #: via set_on_crash and called from the dying worker thread.
+        self._on_crash: Optional[Callable[[int], None]] = None  # shared
+        #: Shard-lifetime op sequence — the chaos identity.  Never reset,
+        #: even across recoveries: resetting would re-fire the same
+        #: injected kill on the retried op forever.
+        self._op_seq = 0
+        self._breaker_open = False  # shared (worker writes, health reads)
+        self._consecutive_errors = 0
+        self._inflight: List[_Work] = []  # guarded-by: _state_lock
+        self._state_lock = sanitizer.new_lock(f"service.shard.{index}.state")
+        # Keyed by (request id, attempt): a duplicate *delivery* of the
+        # same attempt answers from the cache; a client-bumped attempt
+        # (it saw the previous answer arrive out of order after a crash)
+        # misses on purpose and re-executes.
+        self._responses: Optional[Dict[Tuple[int, int], Response]] = (
+            {} if config.exactly_once else None
+        )
+        self._response_order: Deque[Tuple[int, int]] = deque()
+        self._wal: Optional[ShardWAL] = None
+        if config.wal_dir is not None:
+            self._wal = ShardWAL(Path(config.wal_dir) / f"shard-{index:02d}.wal")
 
         # Worker-owned counters (single writer: the shard thread) except
-        # rejected_busy, which caller threads bump under _reject_lock.
+        # rejected_busy and retryable, which caller/supervisor threads
+        # bump under _reject_lock.
         prefix = f"service.shard.{index}"
         self.prefix = prefix
         self._c_requests = self.registry.counter(f"{prefix}.requests")
@@ -196,9 +300,33 @@ class Shard:
         self._c_rejected = self.registry.counter(  # guarded-by: _reject_lock
             f"{prefix}.rejected_busy"
         )
+        self._c_retryable = self.registry.counter(  # guarded-by: _reject_lock
+            f"{prefix}.retryable"
+        )
         self._reject_lock = sanitizer.new_lock(f"service.shard.{index}.reject")
+        self._c_restarts = self.registry.counter(f"{prefix}.restarts")
+        self._c_worker_crashes = self.registry.counter(f"{prefix}.worker_crashes")
+        self._c_deadline_shed = self.registry.counter(f"{prefix}.deadline_shed")
+        self._c_overload_shed = self.registry.counter(f"{prefix}.overload_shed")
+        self._c_breaker_trips = self.registry.counter(f"{prefix}.breaker_trips")
+        self._c_dedup_hits = self.registry.counter(f"{prefix}.dedup_hits")
+        self._c_dedup_evictions = self.registry.counter(
+            f"{prefix}.dedup_evictions"
+        )
+        self._c_wal_records = self.registry.counter(f"{prefix}.wal_records")
+        self._c_wal_commits = self.registry.counter(f"{prefix}.wal_commits")
+        self._c_wal_replayed = self.registry.counter(f"{prefix}.wal_replayed")
+        self._c_wal_compactions = self.registry.counter(
+            f"{prefix}.wal_compactions"
+        )
         self._h_latency = self.registry.histogram(f"{prefix}.latency_us")
         self._h_batch = self.registry.histogram(f"{prefix}.batch_blocks")
+        self._h_recovery = self.registry.histogram(f"{prefix}.recovery_us")
+
+        # Cold-start durability: a journal left by a previous process (or
+        # an unclean daemon exit) replays before the worker ever starts.
+        if self._wal is not None:
+            self._replay_wal(compact=True)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -214,14 +342,27 @@ class Shard:
         """Finish queued work, then stop the worker (idempotent)."""
         self._stopping = True
         if self._thread is None:
-            self._drain_shutdown()
+            self._fail_pending(Status.SHUTDOWN, "stopping")
+            if self._wal is not None:
+                self._wal.close()
+            return
+        if self._crashed or not self._thread.is_alive():
+            # A dead worker can't drain its own queue; reap it and fail
+            # everything (queued and in-flight) with a typed status.
+            self._thread.join()
+            self._thread = None
+            self._fail_pending(Status.SHUTDOWN, "stopping")
+            if self._wal is not None:
+                self._wal.close()
             return
         self._queue.put(_STOP)
         self._thread.join()
         self._thread = None
         # A submitter racing stop() may have enqueued behind the sentinel
         # after the worker exited; fail its work explicitly.
-        self._drain_shutdown()
+        self._fail_pending(Status.SHUTDOWN, "stopping")
+        if self._wal is not None:
+            self._wal.close()
 
     # -- submission (caller threads) -----------------------------------------
 
@@ -231,6 +372,17 @@ class Shard:
         if self._stopping:
             future.set_result(
                 Response(id=request.id, status=Status.SHUTDOWN, error="stopping")
+            )
+            return future
+        if self._crashed or self._recovering:
+            with self._reject_lock:
+                self._c_retryable.inc()
+            future.set_result(
+                Response(
+                    id=request.id,
+                    status=Status.RETRYABLE,
+                    error=f"shard {self.index} is recovering; retry",
+                )
             )
             return future
         work = _Work(request=request, future=future, enqueue_ns=now_ns())
@@ -255,13 +407,231 @@ class Shard:
         """Submit and wait."""
         return self.submit(request).result()
 
+    # -- supervision hooks (supervisor thread) --------------------------------
+
+    def set_on_crash(self, callback: Optional[Callable[[int], None]]) -> None:
+        """Install the supervisor nudge; call before :meth:`start`."""
+        self._on_crash = callback
+
+    def needs_recovery(self) -> bool:  # owner-thread: external
+        """True when the worker died and :meth:`recover` should run."""
+        if self._stopping or self._recovering:
+            return False
+        if self._crashed:
+            return True
+        thread = self._thread
+        # Backstop for a death that never reached the crash handler: a
+        # started worker whose thread is no longer alive outside stop().
+        return thread is not None and not thread.is_alive()
+
+    def recover(self) -> None:  # owner-thread: external (supervisor)
+        """Rebuild from the WAL and restart the worker after a crash.
+
+        Sequence: reap the dead thread, drop uncommitted WAL appends
+        (they were never acknowledged), answer every queued/in-flight
+        future ``RETRYABLE`` (none of it committed), rebuild the
+        ``ProtectedMemory`` by replaying the journal's
+        last-write-per-address, restart the worker, re-admit traffic.
+        """
+        if self._stopping:
+            return
+        t0 = now_ns()
+        self._recovering = True
+        try:
+            thread = self._thread
+            if thread is not None:
+                thread.join()
+            self._thread = None
+            self._crashed = False
+            if self._wal is not None:
+                self._wal.abort()
+            failed = self._fail_pending(
+                Status.RETRYABLE,
+                f"shard {self.index} worker restarted; safe to retry",
+            )
+            if failed:
+                with self._reject_lock:
+                    self._c_retryable.inc(failed)
+            self._rebuild_memory()
+            if self._wal is not None:
+                self._replay_wal(compact=True)
+            self._c_restarts.inc()
+            self._h_recovery.observe((now_ns() - t0) / 1000.0)
+            # Re-admit traffic before the visible restart: otherwise a
+            # client that observed restarts>=1 could still race a
+            # RETRYABLE answer out of the closing _recovering window.
+            self._recovering = False
+            self.start()
+        except Exception:
+            # Re-flag so needs_recovery() stays true and the supervisor's
+            # next poll retries; submit() keeps answering RETRYABLE.
+            self._crashed = True
+            raise
+        finally:
+            self._recovering = False
+
+    def _rebuild_memory(self) -> None:  # owner-thread: external (recovery)
+        old_codec = self.memory.codec
+        self.memory = ProtectedMemory(
+            mode=self.config.mode,
+            config=self.config.cop,
+            capacity_bytes=self.config.capacity_bytes,
+            obs=Observability(metrics=self.registry),
+        )
+        # Exactly-once entries describe executions the rebuilt state no
+        # longer reflects; duplicates of uncommitted ops must re-execute.
+        if self._responses is not None:
+            self._responses = {}
+            self._response_order.clear()
+        if (
+            self.config.mode is ProtectionMode.COP
+            and isinstance(old_codec, MemoizedCodec)
+            and isinstance(self.memory.codec, MemoizedCodec)
+        ):
+            # Keep the warm memo across the rebuild: it caches pure
+            # content → image results, so reuse is safe, replay stays
+            # fast, and kernels.memo.* counters stay monotonic.
+            self.memory.codec = old_codec
+            self.batch = BatchCodec(old_codec.codec)
+        elif isinstance(self.memory.codec, MemoizedCodec):
+            self.batch = BatchCodec(self.memory.codec.codec)
+        else:
+            self.batch = None
+
+    def _fail_pending(self, status: Status, error: str) -> int:
+        """Resolve every queued and in-flight future with a typed status."""
+        with self._state_lock:
+            inflight, self._inflight = self._inflight, []
+        sentinels = 0
+        drained: List[_Work] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if isinstance(item, _Stop):
+                sentinels += 1
+                continue
+            drained.append(item)
+        for _ in range(sentinels):
+            # Preserve a racing stop()'s sentinel for the restarted worker.
+            self._queue.put_nowait(_STOP)
+        failed = 0
+        for item in inflight + drained:
+            if not item.future.done():
+                item.future.set_result(
+                    Response(id=item.request.id, status=status, error=error)
+                )
+                failed += 1
+        return failed
+
+    def _replay_wal(self, compact: bool) -> int:  # owner-thread: external (recovery)
+        """Replay the journal's last-write-per-address into the memory."""
+        assert self._wal is not None
+        records = self._wal.load_records()
+        if not records:
+            return 0
+        live = ShardWAL.live_records(records)
+        codec = self.memory.codec
+        if (
+            self.config.mode is ProtectionMode.COP
+            and isinstance(codec, MemoizedCodec)
+            and self.batch is not None
+        ):
+            # Same batch-seeding trick as _prewarm: one array pass for the
+            # encodes (and alias counts) replay will consult.
+            encode_missing: Dict[bytes, None] = {}
+            for record in live:
+                if (
+                    len(record.data) == BLOCK_BYTES
+                    and record.data not in encode_missing
+                    and codec.peek_encode(record.data) is None
+                ):
+                    encode_missing[record.data] = None
+            if encode_missing:
+                stored, compressed = self.batch.encode_many(
+                    blocks_to_array(list(encode_missing))
+                )
+                for row, key in enumerate(encode_missing):
+                    codec.seed_encode(
+                        key, EncodedBlock(stored[row].tobytes(), bool(compressed[row]))
+                    )
+            count_missing: Dict[bytes, None] = {}
+            for record in live:
+                key = record.data
+                encoded_opt = codec.peek_encode(key)
+                if (
+                    encoded_opt is not None
+                    and not encoded_opt.compressed
+                    and key not in count_missing
+                    and codec.peek_count(key) is None
+                ):
+                    count_missing[key] = None
+            if count_missing:
+                counts = self.batch.codeword_count_many(
+                    blocks_to_array(list(count_missing))
+                )
+                for row, key in enumerate(count_missing):
+                    codec.seed_count(key, int(counts[row]))
+        replayed = 0
+        for record in live:
+            result = self.memory.write(record.addr, record.data)
+            if not result.accepted:  # pragma: no cover - accepted writes replay
+                self._c_errors.inc()
+            replayed += 1
+        self._c_wal_replayed.inc(replayed)
+        if compact and len(records) > len(live):
+            self._wal.compact(live)
+            self._c_wal_compactions.inc()
+        return replayed
+
+    def health(self) -> Dict[str, Any]:  # owner-thread: external
+        """Point-in-time liveness/recovery/breaker snapshot of this shard."""
+        thread = self._thread
+        wal_info: Optional[Dict[str, int]] = None
+        if self._wal is not None:
+            wal_info = {
+                "records": self._c_wal_records.value,
+                "commits": self._c_wal_commits.value,
+                "replayed": self._c_wal_replayed.value,
+                "compactions": self._c_wal_compactions.value,
+                "torn_lines": self._wal.torn_lines,
+            }
+        return {
+            "shard": self.index,
+            "alive": bool(thread is not None and thread.is_alive()),
+            "recovering": self._recovering,
+            "queue_depth": self._queue.qsize(),
+            "breaker_open": self._breaker_open,
+            "restarts": self._c_restarts.value,
+            "worker_crashes": self._c_worker_crashes.value,
+            "deadline_shed": self._c_deadline_shed.value,
+            "overload_shed": self._c_overload_shed.value,
+            "errors": self._c_errors.value,
+            "wal": wal_info,
+        }
+
     # -- worker loop (shard thread) ------------------------------------------
 
     def _run(self) -> None:
+        try:
+            self._loop()
+        except Exception:
+            # A dead worker is an event, never a silent state: count it
+            # (REP006), flag for the supervisor, nudge it awake.  No
+            # re-raise — the stack is recorded by the restart counters,
+            # and a traceback per injected chaos kill would drown CI.
+            self._c_worker_crashes.inc()
+            self._crashed = True
+            notify = self._on_crash
+            if notify is not None:
+                notify(self.index)
+
+    def _loop(self) -> None:
         while True:
             item = self._queue.get()
             if isinstance(item, _Stop):
-                self._drain_shutdown()
+                self._fail_pending(Status.SHUTDOWN, "stopping")
                 return
             batch = [item]
             stop_after = False
@@ -276,22 +646,8 @@ class Shard:
                 batch.append(nxt)
             self._process(batch)
             if stop_after:
-                self._drain_shutdown()
+                self._fail_pending(Status.SHUTDOWN, "stopping")
                 return
-
-    def _drain_shutdown(self) -> None:
-        while True:
-            try:
-                item = self._queue.get_nowait()
-            except queue.Empty:
-                return
-            if isinstance(item, _Stop):
-                continue
-            item.future.set_result(
-                Response(
-                    id=item.request.id, status=Status.SHUTDOWN, error="stopping"
-                )
-            )
 
     def process_serially(  # owner-thread: external
         self, requests: List[Request]
@@ -314,16 +670,127 @@ class Shard:
     def _process(self, batch: List[_Work]) -> None:
         self._c_batches.inc()
         self._h_batch.observe(float(len(batch)))
-        self._prewarm(batch)
+        # Deadline shed happens strictly before execution: an op either
+        # runs to completion or provably never started.
+        ready: List[_Work] = []
+        shed: List[_Work] = []
+        now = now_ns()
         for item in batch:
+            deadline = item.request.deadline_ms
+            if deadline is not None and now - item.enqueue_ns > deadline * 1_000_000:
+                shed.append(item)
+            else:
+                ready.append(item)
+        self._update_breaker()
+        overload: List[_Work] = []
+        if self._breaker_open:
+            kept: List[_Work] = []
+            for item in ready:
+                if item.request.op in ("encode", "decode"):
+                    overload.append(item)
+                else:
+                    kept.append(item)
+            ready = kept
+        else:
+            # Prewarm is optional work too; a tripped breaker skips it.
+            self._prewarm(ready)
+        with self._state_lock:
+            self._inflight = list(ready)
+        chaos = self.config.chaos
+        results: List[Tuple[_Work, Response]] = []
+        for item in ready:
+            op_seq = self._op_seq
+            self._op_seq += 1
+            if chaos is not None:
+                pause = chaos.delay_seconds(self.index, op_seq)
+                if pause > 0.0:
+                    time.sleep(pause)
+                if chaos.kills_worker(self.index, op_seq):
+                    raise ChaosWorkerKill(
+                        f"injected worker death on shard {self.index} op {op_seq}"
+                    )
             response = self._execute(item.request)
-            self._c_requests.inc()
-            self._h_latency.observe((now_ns() - item.enqueue_ns) / 1000.0)
-            if item.request.tenant:
-                self.registry.inc(
-                    f"{self.prefix}.tenant.{item.request.tenant}.requests"
+            if (
+                self._wal is not None
+                and item.request.op == "write"
+                and response.status is Status.OK
+                and item.request.addr is not None
+                and item.request.data is not None
+            ):
+                self._wal.append(
+                    item.request.id, item.request.addr, item.request.data
                 )
+            self._remember(item.request, response)
+            results.append((item, response))
+        if self._wal is not None:
+            committed = self._wal.commit()
+            if committed:
+                self._c_wal_records.inc(committed)
+                self._c_wal_commits.inc()
+        # Acks strictly after the group commit: a response becomes
+        # observable only once the writes it implies are durable.
+        for item, response in results:
+            self._finish(item, response)
+        with self._state_lock:
+            self._inflight = []
+        for item in shed:
+            self._c_deadline_shed.inc()
+            self._finish(
+                item,
+                Response(
+                    id=item.request.id,
+                    status=Status.DEADLINE_EXCEEDED,
+                    error=(
+                        f"deadline_ms={item.request.deadline_ms} elapsed in "
+                        f"shard {self.index} queue"
+                    ),
+                ),
+            )
+        for item in overload:
+            self._c_overload_shed.inc()
+            self._finish(
+                item,
+                Response(
+                    id=item.request.id,
+                    status=Status.OVERLOADED,
+                    error=f"shard {self.index} breaker open; optional work shed",
+                ),
+            )
+
+    def _finish(self, item: _Work, response: Response) -> None:
+        self._c_requests.inc()
+        self._h_latency.observe((now_ns() - item.enqueue_ns) / 1000.0)
+        if item.request.tenant:
+            self.registry.inc(
+                f"{self.prefix}.tenant.{item.request.tenant}.requests"
+            )
+        if not item.future.done():
             item.future.set_result(response)
+
+    def _remember(self, request: Request, response: Response) -> None:
+        cache = self._responses
+        key = (request.id, request.attempt)
+        if cache is None or key in cache:
+            return
+        cache[key] = response
+        self._response_order.append(key)
+        if len(self._response_order) > self.config.exactly_once_depth:
+            evicted = self._response_order.popleft()
+            cache.pop(evicted, None)
+            self._c_dedup_evictions.inc()
+
+    def _update_breaker(self) -> None:
+        depth = self._queue.qsize()
+        threshold = self.config.breaker_queue_fraction * self.config.queue_depth
+        errors = self._consecutive_errors
+        if not self._breaker_open:
+            if depth >= threshold or errors >= self.config.breaker_trip_errors:
+                self._breaker_open = True
+                self._c_breaker_trips.inc()
+                self.registry.set_gauge(f"{self.prefix}.breaker_open", 1.0)
+        elif depth <= threshold / 2 and errors < self.config.breaker_trip_errors:
+            self._breaker_open = False
+            self.registry.set_gauge(f"{self.prefix}.breaker_open", 0.0)
 
     # -- batch prewarm --------------------------------------------------------
 
@@ -351,10 +818,18 @@ class Shard:
                 and len(request.data) == BLOCK_BYTES
             )
 
+        def is_duplicate(request: Request) -> bool:
+            # An exactly-once hit answers from the cache without any codec
+            # call; prewarming it would seed (and miscount) unused work.
+            return (
+                self._responses is not None
+                and (request.id, request.attempt) in self._responses
+            )
+
         # Pass 1: batch-encode every distinct uncached write/encode payload.
         encode_missing: Dict[bytes, None] = {}
         for item in batch:
-            if wants_encode(item.request):
+            if wants_encode(item.request) and not is_duplicate(item.request):
                 key = bytes(item.request.data)  # type: ignore[arg-type]
                 if key not in encode_missing and codec.peek_encode(key) is None:
                     encode_missing[key] = None
@@ -374,6 +849,8 @@ class Shard:
         for item in batch:
             request = item.request
             if request.op != "write" or not wants_encode(request):
+                continue
+            if is_duplicate(request):
                 continue
             key = bytes(request.data)  # type: ignore[arg-type]
             encoded_opt = fresh.get(key) or codec.peek_encode(key)
@@ -406,6 +883,8 @@ class Shard:
 
         for item in batch:
             request = item.request
+            if is_duplicate(request):
+                continue
             if request.op == "write" and wants_encode(request):
                 addr = request.addr
                 if (
@@ -451,18 +930,30 @@ class Shard:
     # -- execution ------------------------------------------------------------
 
     def _execute(self, request: Request) -> Response:
+        cache = self._responses
+        if cache is not None:
+            cached = cache.get((request.id, request.attempt))
+            if cached is not None:
+                # Exactly-once: a duplicate delivery (a client retry racing
+                # its original) gets the original outcome, not a re-run.  A
+                # bumped attempt misses here by design and re-executes.
+                self._c_dedup_hits.inc()
+                return cached
         try:
-            return self._dispatch(request)
+            response = self._dispatch(request)
         except Exception as exc:
             # Typed statuses cover the expected failures; anything else is
             # a server bug — count it (REP006) and answer INTERNAL rather
             # than killing the worker.
             self._c_errors.inc()
+            self._consecutive_errors += 1
             return Response(
                 id=request.id,
                 status=Status.INTERNAL,
                 error=f"{type(exc).__name__}: {exc}",
             )
+        self._consecutive_errors = 0
+        return response
 
     def _bad(self, request: Request, why: str) -> Response:
         self._c_bad_requests.inc()
@@ -561,6 +1052,6 @@ class Shard:
                 valid_codewords=decoded.valid_codewords,
             )
 
-        # "stats" is answered by the front end; reaching a shard means the
-        # caller bypassed it.
+        # "stats"/"health" are answered by the front end; reaching a shard
+        # means the caller bypassed it.
         return self._bad(request, f"op {op!r} is not served by shards")

@@ -1,0 +1,87 @@
+"""Shard supervision: detect dead workers, WAL-replay, restart, re-admit.
+
+One daemon thread babysits every shard of a :class:`COPService`.  A
+dying worker nudges it through the shard's ``on_crash`` callback (set
+before the workers start), and a low-frequency poll backstops deaths
+that never reach the crash handler.  Recovery itself lives in
+:meth:`~repro.service.shard.Shard.recover`; the supervisor only decides
+*when* to run it and guarantees its own survival — a recovery that
+raises is counted (``service.supervisor.recovery_errors``), never
+allowed to kill the supervision loop.
+
+Metrics (merged into the loadgen report and the ``health`` op):
+
+``service.shard.<i>.restarts``     successful recoveries per shard
+``service.shard.<i>.recovery_us``  end-to-end recovery latency histogram
+``service.supervisor.recovery_errors``  recoveries that themselves failed
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional, Sequence
+
+from repro.service.shard import Shard
+
+__all__ = ["Supervisor"]
+
+
+class Supervisor:
+    """Babysits shard workers: join the corpse, replay the WAL, restart."""
+
+    # owner-thread: _run  (start/stop are external lifecycle calls that
+    # never overlap the loop: stop() joins before returning)
+
+    def __init__(self, shards: Sequence[Shard], poll_interval: float = 0.25) -> None:
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        self._shards: List[Shard] = list(shards)
+        self._poll_interval = poll_interval
+        self._wake = threading.Event()
+        self._stopping = False  # shared
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("supervisor already started")
+        self._stopping = False
+        for shard in self._shards:
+            shard.set_on_crash(self._nudge)
+        self._thread = threading.Thread(
+            target=self._run, name="cop-supervisor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:  # owner-thread: external
+        """Stop supervising (idempotent).  Call *before* stopping shards,
+        or a draining worker's planned exit could be "recovered"."""
+        self._stopping = True
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        for shard in self._shards:
+            shard.set_on_crash(None)
+
+    def _nudge(self, index: int) -> None:  # owner-thread: external
+        """Crash callback, invoked from the dying worker thread."""
+        self._wake.set()
+
+    def _run(self) -> None:
+        while True:
+            self._wake.wait(self._poll_interval)
+            self._wake.clear()
+            if self._stopping:
+                return
+            for shard in self._shards:
+                if self._stopping:
+                    return
+                if not shard.needs_recovery():
+                    continue
+                try:
+                    shard.recover()
+                except Exception:
+                    # A failed recovery must not kill the supervisor; the
+                    # shard stays down (submit answers RETRYABLE) and the
+                    # next poll retries.  Counted, never silent (REP006).
+                    shard.registry.inc("service.supervisor.recovery_errors")

@@ -1,0 +1,19 @@
+# lint-as: repro/service/retry_helper.py
+"""Failing fixture for REP011: INTERNAL classed as retry-safe."""
+
+from repro.service.protocol import Status
+
+# The tempting refactor: one flat "safe to re-send" set.  INTERNAL makes
+# no never-executed promise, so a write retried on it can double-apply.
+RETRY_SAFE_STATUSES = frozenset(
+    {
+        Status.RETRYABLE,
+        Status.BUSY,
+        Status.INTERNAL,
+    }
+)
+
+
+def should_retry_status(status):
+    # Anonymous retry set inside a retry-named function: same hazard.
+    return status in {Status.INTERNAL, Status.OVERLOADED}

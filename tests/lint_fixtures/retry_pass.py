@@ -1,0 +1,24 @@
+# lint-as: repro/service/retry_helper.py
+"""Passing fixture for REP011: INTERNAL kept behind an op-kind check."""
+
+from repro.service.protocol import Status
+
+NEVER_EXECUTED_STATUSES = frozenset(
+    {
+        Status.RETRYABLE,
+        Status.BUSY,
+        Status.DEADLINE_EXCEEDED,
+        Status.OVERLOADED,
+    }
+)
+READONLY_RETRY_STATUSES = frozenset({Status.INTERNAL})
+
+# Not retry-flavored: enumerating statuses is fine, claiming they are
+# all safe to re-send is not.
+TERMINAL_STATUSES = (Status.OK, Status.INTERNAL, Status.RETRYABLE)
+
+
+def retry_safe(op, status):
+    if status in NEVER_EXECUTED_STATUSES:
+        return True
+    return op != "write" and status in READONLY_RETRY_STATUSES

@@ -33,6 +33,7 @@ RULE_CASES = [
     ("REP008", "owner"),
     ("REP009", "blocking"),
     ("REP010", "threads"),
+    ("REP011", "retry"),
 ]
 
 
@@ -41,8 +42,8 @@ def ids_of(findings):
 
 
 class TestRegistry:
-    def test_all_ten_rules_registered(self):
-        assert {f"REP{n:03d}" for n in range(1, 11)} <= set(RULES)
+    def test_all_eleven_rules_registered(self):
+        assert {f"REP{n:03d}" for n in range(1, 12)} <= set(RULES)
 
     def test_rules_have_metadata(self):
         for rule in RULES.values():

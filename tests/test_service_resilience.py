@@ -1,0 +1,597 @@
+"""Tests for the self-healing service layer (PR 9).
+
+Covers the per-shard write-ahead log (framing, torn-tail repair,
+checksums, compaction, cold-start replay), the shared ``REPRO_CHAOS``
+grammar, supervisor-driven crash recovery (acked writes survive
+byte-identically, in-flight work answers RETRYABLE), deadline shedding,
+the overload breaker, the exactly-once response cache, client
+retry/reconnect, and end-to-end loadgen parity under injected chaos.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import time
+
+import pytest
+
+from repro.experiments.resilience import ChaosConfig
+from repro.service import (
+    COPService,
+    LoadgenConfig,
+    Request,
+    RetryPolicy,
+    ServiceChaosConfig,
+    ServiceClient,
+    ServiceConfig,
+    ServiceServer,
+    Shard,
+    ShardWAL,
+    Status,
+    WalRecord,
+    retry_safe,
+    run_loadgen,
+)
+from repro.service.protocol import ProtocolError
+
+
+def _compressible(tag: bytes = b"hello") -> bytes:
+    return tag.ljust(64, b".")
+
+
+def _wait_until(predicate, timeout=10.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+# -- write-ahead log ----------------------------------------------------------
+
+
+class TestShardWAL:
+    def test_append_commit_load_roundtrip(self, tmp_path):
+        wal = ShardWAL(tmp_path / "s.wal")
+        wal.append(1, 0, _compressible(b"a"))
+        wal.append(2, 64, _compressible(b"b"))
+        assert wal.load_records() == []  # nothing durable before commit
+        assert wal.commit() == 2
+        assert wal.commits == 1 and wal.records_appended == 2
+        records = wal.load_records()
+        assert [(r.request_id, r.addr) for r in records] == [(1, 0), (2, 64)]
+        assert records[0].data == _compressible(b"a")
+        wal.close()
+
+    def test_abort_drops_uncommitted(self, tmp_path):
+        wal = ShardWAL(tmp_path / "s.wal")
+        wal.append(1, 0, _compressible())
+        assert wal.abort() == 1
+        assert wal.commit() == 0
+        assert wal.load_records() == []
+        wal.close()
+
+    def test_torn_tail_skipped_and_repaired(self, tmp_path):
+        path = tmp_path / "s.wal"
+        wal = ShardWAL(path)
+        wal.append(1, 0, _compressible(b"ok"))
+        wal.commit()
+        wal.close()
+        # A kill mid-append tears the final line.
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"m":"COPW1","seq":1,"id":2,"ad')
+        reopened = ShardWAL(path)
+        assert reopened.torn_lines == 1
+        assert len(reopened.load_records()) == 1
+        reopened.append(3, 64, _compressible(b"next"))
+        reopened.commit()
+        records = reopened.load_records()
+        assert [r.request_id for r in records] == [1, 3]
+        reopened.close()
+
+    def test_checksum_rejects_corrupt_record(self, tmp_path):
+        path = tmp_path / "s.wal"
+        wal = ShardWAL(path)
+        wal.append(1, 0, _compressible(b"x"))
+        wal.append(2, 64, _compressible(b"y"))
+        wal.commit()
+        wal.close()
+        lines = path.read_text().splitlines()
+        # Flip payload bytes without touching the checksum.
+        lines[0] = lines[0].replace(_compressible(b"x").hex(), "00" * 64)
+        path.write_text("\n".join(lines) + "\n")
+        survivors = ShardWAL(path).load_records()
+        assert [r.request_id for r in survivors] == [2]
+
+    def test_live_records_keeps_last_write_per_address(self):
+        records = [
+            WalRecord(0, 10, 0, b"a"),
+            WalRecord(1, 11, 64, b"b"),
+            WalRecord(2, 12, 0, b"c"),
+        ]
+        live = ShardWAL.live_records(records)
+        assert [(r.seq, r.addr, r.data) for r in live] == [
+            (1, 64, b"b"),
+            (2, 0, b"c"),
+        ]
+
+    def test_compact_bounds_journal_to_live_set(self, tmp_path):
+        path = tmp_path / "s.wal"
+        wal = ShardWAL(path)
+        for i in range(6):
+            wal.append(i, (i % 2) * 64, _compressible(b"v%d" % i))
+        wal.commit()
+        records = wal.load_records()
+        wal.compact(ShardWAL.live_records(records))
+        assert wal.compactions == 1
+        compacted = wal.load_records()
+        assert len(compacted) == 2
+        assert {r.addr for r in compacted} == {0, 64}
+        # Appends keep working after the atomic rewrite.
+        wal.append(99, 128, _compressible(b"post"))
+        wal.commit()
+        assert len(wal.load_records()) == 3
+        wal.close()
+
+    def test_cold_start_replays_previous_process(self, tmp_path):
+        config = ServiceConfig(shards=1, wal_dir=str(tmp_path))
+        shard = Shard(0, config)
+        shard.start()
+        writes = {i * 64: _compressible(b"cold%d" % i) for i in range(3)}
+        for i, (addr, data) in enumerate(writes.items()):
+            assert (
+                shard.call(Request("write", id=i, addr=addr, data=data)).status
+                is Status.OK
+            )
+        contents = dict(shard.memory.contents)
+        shard.stop()
+        # A brand-new shard (fresh process, same wal_dir) replays to the
+        # exact same stored images before its worker even starts.
+        reborn = Shard(0, config)
+        assert reborn.memory.contents == contents
+        assert (
+            reborn.registry.counter("service.shard.0.wal_replayed").value == 3
+        )
+        reborn.stop()
+
+
+# -- chaos grammar ------------------------------------------------------------
+
+
+class TestChaosGrammar:
+    def test_service_parser_ignores_runner_knobs(self):
+        assert ServiceChaosConfig.parse("crash:0.5,hang:0.1,seed:9") is None
+        config = ServiceChaosConfig.parse("worker-kill:0.01,crash:0.5,seed:9")
+        assert config is not None
+        assert config.worker_kill == 0.01 and config.seed == 9
+
+    def test_runner_parser_ignores_service_knobs(self):
+        assert ChaosConfig.parse("worker-kill:0.01,conn-drop:0.1") is None
+        config = ChaosConfig.parse("crash:0.2,worker-kill:0.01,seed:4")
+        assert config is not None
+        assert config.crash == 0.2 and config.seed == 4
+
+    def test_one_spec_faults_both_layers(self):
+        spec = "crash:0.1,worker-kill:0.02,delay:0.1:5,conn-drop:0.03,seed:7"
+        runner = ChaosConfig.parse(spec)
+        service = ServiceChaosConfig.parse(spec)
+        assert runner is not None and runner.crash == 0.1 and runner.seed == 7
+        assert service is not None
+        assert service.worker_kill == 0.02
+        assert service.delay_p == 0.1 and service.delay_ms == 5
+        assert service.conn_drop == 0.03 and service.seed == 7
+
+    def test_invalid_specs_disable_service_chaos(self, capsys):
+        assert ServiceChaosConfig.parse("bogus:1") is None
+        assert ServiceChaosConfig.parse("worker-kill:nope") is None
+        assert ServiceChaosConfig.parse("worker-kill:1.5") is None
+        assert "REPRO_CHAOS" in capsys.readouterr().err
+
+    def test_describe_round_trips(self):
+        config = ServiceChaosConfig(worker_kill=0.01, conn_drop=0.05, seed=7)
+        assert config.describe() == "worker-kill:0.01,conn-drop:0.05,seed:7"
+        assert ServiceChaosConfig.parse(config.describe()) == config
+
+    def test_decisions_are_deterministic(self):
+        config = ServiceChaosConfig(worker_kill=0.3, seed=11)
+        first = [config.kills_worker(0, op) for op in range(64)]
+        again = [config.kills_worker(0, op) for op in range(64)]
+        assert first == again
+        assert any(first)  # p=0.3 over 64 ops
+
+    def test_deadline_ms_on_the_wire(self):
+        request = Request("read", id=1, addr=0, deadline_ms=250)
+        assert Request.from_json(request.to_json()) == request
+        with pytest.raises(ProtocolError):
+            Request.from_wire({"op": "read", "addr": 0, "deadline_ms": 0})
+        with pytest.raises(ProtocolError):
+            Request.from_wire({"op": "read", "addr": 0, "deadline_ms": True})
+
+
+# -- supervised crash recovery ------------------------------------------------
+
+
+def _single_kill_chaos(phase1_ops: int, total_ops: int):
+    """A chaos config whose only shard-0 kill lands mid-phase-2.
+
+    Decisions are pure functions of (seed, shard, op_seq), so the test
+    can shop for a seed offline and the run is fully deterministic.
+    """
+    # The test consumes at most ~130 shard-0 op_seqs (both phases, the
+    # resends, the read-backs); demand exactly one kill anywhere below
+    # 150 so a second injected death can never race the assertions.
+    for seed in range(2000):
+        config = ServiceChaosConfig(worker_kill=0.03, seed=seed)
+        kills = [op for op in range(150) if config.kills_worker(0, op)]
+        if len(kills) == 1 and phase1_ops + 2 <= kills[0] < total_ops - 5:
+            return config, kills[0]
+    raise AssertionError("no suitable chaos seed found")
+
+
+class TestSupervisedRecovery:
+    def test_crash_recovery_preserves_acked_writes(self, tmp_path):
+        phase1, phase2 = 12, 48
+        chaos, kill_at = _single_kill_chaos(phase1, phase1 + phase2)
+        config = ServiceConfig(
+            shards=1, wal_dir=str(tmp_path), supervise=True, chaos=chaos
+        )
+        service = COPService(config)
+        service.start()
+        try:
+            shard = service.shards[0]
+            # Phase 1: acked, durable writes to their own address range.
+            durable = {}
+            for i in range(phase1):
+                addr = i * 64
+                data = _compressible(b"ph1-%02d" % i)
+                assert (
+                    service.call(
+                        Request("write", id=i, addr=addr, data=data)
+                    ).status
+                    is Status.OK
+                )
+                durable[addr] = data
+            # Phase 2: a pipelined burst the injected kill lands inside.
+            burst = []
+            for i in range(phase2):
+                rid = 1000 + i
+                addr = 64 * 64 + (i % 8) * 64
+                data = _compressible(b"ph2-%02d" % i)
+                burst.append(
+                    (rid, addr, data,
+                     service.submit(Request("write", id=rid, addr=addr, data=data)))
+                )
+            outcomes = [
+                (rid, addr, data, future.result(timeout=30))
+                for rid, addr, data, future in burst
+            ]
+            retryable = [
+                (rid, addr, data)
+                for rid, addr, data, response in outcomes
+                if response.status is Status.RETRYABLE
+            ]
+            acked = [
+                (rid, addr, data)
+                for rid, addr, data, response in outcomes
+                if response.status is Status.OK
+            ]
+            assert retryable, "the injected kill should strand in-flight work"
+            assert _wait_until(
+                lambda: shard.registry.counter(
+                    "service.shard.0.restarts"
+                ).value
+                >= 1
+                and shard.health()["alive"]
+                and not shard.health()["recovering"]
+            ), "supervisor never restarted the shard"
+            # The client contract: re-send everything answered RETRYABLE.
+            for rid, addr, data in retryable:
+                response = service.call(
+                    Request("write", id=rid, addr=addr, data=data)
+                )
+                assert response.status is Status.OK
+            # Program order = acked batch order, then the retries in order.
+            expected = dict(durable)
+            for rid, addr, data in acked + retryable:
+                expected[addr] = data
+            for addr, data in expected.items():
+                read = service.call(Request("read", id=addr + 1 << 20, addr=addr))
+                assert read.status is Status.OK and read.data == data
+            health = shard.health()
+            assert health["restarts"] >= 1
+            assert health["worker_crashes"] >= 1
+            assert health["wal"]["replayed"] >= len(durable)
+            # Memo survives the rebuild: counters stay monotonic, never evict.
+            assert shard.registry.counter("kernels.memo.misses").value > 0
+            assert shard.registry.counter("kernels.memo.evictions").value == 0
+            assert (
+                shard.registry.counter("service.shard.0.retryable").value
+                >= len(retryable)
+            )
+        finally:
+            service.stop()
+
+    def test_health_op_via_front_end(self):
+        service = COPService(ServiceConfig(shards=2))
+        service.start()
+        try:
+            response = service.call(Request("health", id=1))
+            assert response.status is Status.OK
+            payload = response.payload
+            assert payload["supervised"] is True
+            assert payload["restarts"] == 0
+            assert len(payload["shards"]) == 2
+            assert all(h["alive"] for h in payload["shards"])
+        finally:
+            service.stop()
+
+    def test_submit_during_recovery_is_retryable(self):
+        shard = Shard(0, ServiceConfig(shards=1, supervise=False))
+        shard._crashed = True  # simulate a dead worker awaiting recovery
+        response = shard.call(Request("ping", id=1))
+        assert response.status is Status.RETRYABLE
+        shard._crashed = False
+        shard.stop()
+
+
+# -- deadline shedding and the breaker ----------------------------------------
+
+
+class TestSheddingAndBreaker:
+    def test_expired_queue_entries_are_shed(self):
+        shard = Shard(0, ServiceConfig(shards=1, supervise=False))
+        futures = [
+            shard.submit(
+                Request("write", id=i, addr=i * 64, data=_compressible(),
+                        deadline_ms=1)
+            )
+            for i in range(5)
+        ]
+        time.sleep(0.05)  # let every deadline lapse while queued
+        shard.start()
+        statuses = [f.result(timeout=10).status for f in futures]
+        shard.stop()
+        assert statuses == [Status.DEADLINE_EXCEEDED] * 5
+        assert (
+            shard.registry.counter("service.shard.0.deadline_shed").value == 5
+        )
+
+    def test_breaker_sheds_optional_work_keeps_writes_flowing(self):
+        config = ServiceConfig(
+            shards=1,
+            batch_max=1,
+            queue_depth=16,
+            breaker_queue_fraction=0.25,
+            supervise=False,
+        )
+        shard = Shard(0, config)
+        futures = []
+        for i in range(12):
+            if i % 2 == 0:
+                request = Request(
+                    "write", id=i, addr=(i % 4) * 64, data=_compressible()
+                )
+            else:
+                request = Request("encode", id=i, data=_compressible(b"e%d" % i))
+            futures.append((request.op, shard.submit(request)))
+        shard.start()
+        results = [(op, f.result(timeout=10)) for op, f in futures]
+        shard.stop()
+        write_statuses = {r.status for op, r in results if op == "write"}
+        encode_statuses = [r.status for op, r in results if op == "encode"]
+        assert write_statuses == {Status.OK}, "writes must flow under overload"
+        assert Status.OVERLOADED in encode_statuses
+        registry = shard.registry
+        assert registry.counter("service.shard.0.breaker_trips").value >= 1
+        assert registry.counter("service.shard.0.overload_shed").value >= 1
+
+
+# -- exactly-once duplicate suppression ---------------------------------------
+
+
+class TestExactlyOnce:
+    def test_duplicate_delivery_gets_original_outcome(self, tmp_path):
+        shard = Shard(
+            0, ServiceConfig(shards=1, wal_dir=str(tmp_path), supervise=False)
+        )
+        shard.start()
+        original = shard.call(
+            Request("write", id=5, addr=0, data=_compressible(b"v1"))
+        )
+        assert original.status is Status.OK
+        duplicate = shard.call(
+            Request("write", id=5, addr=0, data=_compressible(b"v2"))
+        )
+        assert duplicate == original  # answered from cache, not re-executed
+        read = shard.call(Request("read", id=6, addr=0))
+        assert read.data == _compressible(b"v1")
+        assert shard.registry.counter("service.shard.0.dedup_hits").value == 1
+        shard.stop()
+
+    def test_cache_disabled_without_wal_or_chaos(self):
+        config = ServiceConfig(shards=1)
+        assert config.exactly_once is False
+        chaotic = ServiceConfig(
+            shards=1, chaos=ServiceChaosConfig(conn_drop=0.5)
+        )
+        assert chaotic.exactly_once is True
+
+
+# -- client retries and the TCP front end -------------------------------------
+
+
+class TestClientResilience:
+    def test_retry_safe_matrix(self):
+        for status in (
+            Status.RETRYABLE,
+            Status.BUSY,
+            Status.DEADLINE_EXCEEDED,
+            Status.OVERLOADED,
+        ):
+            assert retry_safe("write", status)
+            assert retry_safe("read", status)
+        # INTERNAL is ambiguous: the op may have half-executed, so only
+        # non-mutating ops may retry on it.
+        assert retry_safe("read", Status.INTERNAL)
+        assert retry_safe("encode", Status.INTERNAL)
+        assert not retry_safe("write", Status.INTERNAL)
+        assert not retry_safe("write", Status.OK)
+        assert not retry_safe("read", Status.ALIAS_REJECT)
+
+    def test_retry_policy_backoff_is_deterministic_and_capped(self):
+        policy = RetryPolicy(backoff_base=0.01, backoff_cap=0.05, seed="t")
+        delays = [policy.delay("op1", attempt) for attempt in range(2, 12)]
+        assert delays == [policy.delay("op1", a) for a in range(2, 12)]
+        assert all(0.0 < d <= 0.05 for d in delays)
+        assert delays[-1] == 0.05  # exponential growth hits the cap
+
+    def test_client_timeout_is_configurable(self):
+        service = COPService(ServiceConfig(shards=1))
+        with ServiceServer(service) as server:
+            host, port = server.server_address[0], server.server_address[1]
+            with ServiceClient(host, port, timeout=2.5) as client:
+                assert client._sock.gettimeout() == 2.5
+                assert client.call(Request("ping", id=1)).status is Status.OK
+
+    def test_chaos_conn_drop_reconnect_and_retry(self):
+        chaos = ServiceChaosConfig(conn_drop=1.0, seed=3)
+        service = COPService(ServiceConfig(shards=1, chaos=chaos))
+        with ServiceServer(service) as server:
+            host, port = server.server_address[0], server.server_address[1]
+            client = ServiceClient(host, port, timeout=10.0)
+            try:
+                policy = RetryPolicy(backoff_base=0.001, backoff_cap=0.01)
+                for i in range(4):
+                    response = client.call_with_retry(
+                        Request("ping", id=i + 1), policy
+                    )
+                    assert response.status is Status.OK
+                assert client.reconnects >= 1
+            finally:
+                client.close()
+        drops = service.registry.counter(
+            "service.server.chaos_conn_drops"
+        ).value
+        assert drops >= 1
+
+    def test_mid_pipeline_disconnect_is_counted_not_fatal(self):
+        service = COPService(ServiceConfig(shards=1))
+        with ServiceServer(service) as server:
+            host, port = server.server_address[0], server.server_address[1]
+            sock = socket.create_connection((host, port), timeout=5.0)
+            payload = b"".join(
+                Request("ping", id=i).to_json().encode() + b"\n"
+                for i in range(200)
+            )
+            sock.sendall(payload)
+            # RST instead of FIN: the reader/writer sees a hard drop.
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+            )
+            sock.close()
+            assert _wait_until(
+                lambda: service.registry.counter(
+                    "service.server.conn_drops"
+                ).value
+                >= 1
+            ), "server never recorded the dropped connection"
+            # The daemon still serves new connections afterwards.
+            with ServiceClient(host, port, timeout=5.0) as client:
+                assert client.call(Request("ping", id=1)).status is Status.OK
+
+    def test_wait_reports_accept_loop_state(self):
+        service = COPService(ServiceConfig(shards=1))
+        server = ServiceServer(service)
+        server.start()
+        assert server.wait(0.05) is False  # still serving
+        server.shutdown_service()
+        assert server.wait(1.0) is True
+
+
+# -- end-to-end loadgen parity ------------------------------------------------
+
+
+def _chaos_with_kills(shards: int, per_shard_ops: int):
+    """A kill probability/seed pair guaranteeing >=1 early kill somewhere."""
+    for seed in range(300):
+        config = ServiceChaosConfig(worker_kill=0.001, seed=seed)
+        early = [
+            (s, op)
+            for s in range(shards)
+            for op in range(per_shard_ops // 2)
+            if config.kills_worker(s, op)
+        ]
+        total = [
+            (s, op)
+            for s in range(shards)
+            for op in range(per_shard_ops * 2)
+            if config.kills_worker(s, op)
+        ]
+        if early and len(total) <= 4:
+            return config
+    raise AssertionError("no suitable chaos seed found")
+
+
+class TestLoadgenResilience:
+    def test_strict_parity_with_wal(self, tmp_path):
+        config = LoadgenConfig(
+            ops=800,
+            tenants=2,
+            window=16,
+            blocks_per_tenant=32,
+            content_versions=2,
+            service=ServiceConfig(
+                shards=2, queue_depth=128, wal_dir=str(tmp_path)
+            ),
+        )
+        report = run_loadgen(config, verify=True)
+        assert report.parity is not None and report.parity["strict"] is True
+        assert report.resilience["wal_records"] > 0
+        assert report.resilience["restarts"] == 0
+        assert report.chaos is None
+
+    def test_chaos_worker_kill_parity_inprocess(self, tmp_path):
+        chaos = _chaos_with_kills(shards=2, per_shard_ops=800)
+        config = LoadgenConfig(
+            ops=1600,
+            tenants=4,
+            window=16,
+            blocks_per_tenant=48,
+            content_versions=2,
+            retry_attempts=12,
+            service=ServiceConfig(
+                shards=2,
+                queue_depth=128,
+                wal_dir=str(tmp_path),
+                chaos=chaos,
+            ),
+        )
+        report = run_loadgen(config, verify=True)
+        assert report.parity is not None and report.parity["strict"] is False
+        assert report.resilience["restarts"] >= 1, (
+            "the chaos seed guarantees at least one worker kill"
+        )
+        assert report.resilience["retries"] >= 1
+        assert report.resilience["exhausted"] == 0
+        assert report.transient.get("retryable", 0) >= 1
+        assert report.chaos == chaos.describe()
+
+    def test_chaos_conn_drop_parity_over_tcp(self):
+        chaos = ServiceChaosConfig(conn_drop=0.02, seed=5)
+        config = LoadgenConfig(
+            ops=800,
+            tenants=2,
+            window=8,
+            blocks_per_tenant=32,
+            content_versions=2,
+            retry_attempts=10,
+            client_timeout=15.0,
+            service=ServiceConfig(shards=2, queue_depth=128, chaos=chaos),
+        )
+        report = run_loadgen(config, with_server=True, verify=True)
+        assert report.parity is not None and report.parity["strict"] is False
+        assert report.resilience["reconnects"] >= 1
+        assert report.resilience["chaos_conn_drops"] >= 1
+        assert report.resilience["exhausted"] == 0
