@@ -113,6 +113,9 @@ class SetAssocCache:
             raise ValueError("cache must have at least one set")
         self.name = name
         self._sets: list[list[CacheLine]] = [[] for _ in range(self.num_sets)]
+        #: addr -> line shadow of ``_sets`` (excluding overflow) so lookups
+        #: are O(1) instead of scanning the ways.
+        self._index: dict[int, CacheLine] = {}
         self.overflow = OverflowRegion()
         self.stats = CacheStats()
         self._tick = 0
@@ -133,13 +136,16 @@ class SetAssocCache:
 
     def lookup(self, addr: int) -> Optional[CacheLine]:
         """Return the line holding ``addr`` (updating LRU), or None."""
-        addr = self._align(addr)
-        for line in self._sets[self._set_index(addr)]:
-            if line.addr == addr:
-                line.last_use = self._now()
-                self.stats.hits += 1
-                return line
-        spilled = self.overflow.lookup(addr)
+        addr -= addr % self.line_bytes
+        line = self._index.get(addr)
+        if line is not None:
+            self._tick += 1
+            line.last_use = self._tick
+            self.stats.hits += 1
+            return line
+        spilled = (
+            self.overflow.blocks.get(addr) if self.overflow.blocks else None
+        )
         if spilled is not None:
             # An overflowed line still counts as cached (it must: aliases
             # cannot live in DRAM), but the performance model charges the
@@ -152,10 +158,10 @@ class SetAssocCache:
 
     def peek(self, addr: int) -> Optional[CacheLine]:
         """Lookup without touching LRU state or stats."""
-        addr = self._align(addr)
-        for line in self._sets[self._set_index(addr)]:
-            if line.addr == addr:
-                return line
+        addr -= addr % self.line_bytes
+        line = self._index.get(addr)
+        if line is not None:
+            return line
         return self.overflow.lookup(addr)
 
     def insert(
@@ -171,12 +177,15 @@ class SetAssocCache:
         If the line is already resident its contents/flags are updated in
         place and no eviction occurs.
         """
-        addr = self._align(addr)
+        addr -= addr % self.line_bytes
         if len(data) != self.line_bytes:
             raise ValueError(f"line data must be {self.line_bytes} bytes")
+        stats = self.stats
         if alias:
-            self.stats.alias_pins += 1
-        existing = self.peek(addr)
+            stats.alias_pins += 1
+        existing = self._index.get(addr)
+        if existing is None and self.overflow.blocks:
+            existing = self.overflow.blocks.get(addr)
         if existing is not None:
             existing.data = data
             existing.dirty = existing.dirty or dirty
@@ -188,34 +197,40 @@ class SetAssocCache:
         new_line = CacheLine(
             addr, data, dirty, alias, was_uncompressed, self._now()
         )
-        cache_set = self._sets[self._set_index(addr)]
+        cache_set = self._sets[(addr // self.line_bytes) % self.num_sets]
         if len(cache_set) < self.ways:
             cache_set.append(new_line)
+            self._index[addr] = new_line
             return None
 
-        victims = [line for line in cache_set if not line.alias]
-        if not victims:
+        victim: Optional[CacheLine] = None
+        for line in cache_set:
+            if not line.alias and (
+                victim is None or line.last_use < victim.last_use
+            ):
+                victim = line
+        if victim is None:
             # Every way pinned by incompressible aliases: spill the new line
             # (clean insertion order keeps resident aliases untouched).
-            self.stats.overflow_spills += 1
+            stats.overflow_spills += 1
             self.overflow.insert(new_line)
             return None
-        victim = min(victims, key=lambda line: line.last_use)
         cache_set.remove(victim)
+        del self._index[victim.addr]
         cache_set.append(new_line)
-        self.stats.evictions += 1
+        self._index[addr] = new_line
+        stats.evictions += 1
         if victim.dirty:
-            self.stats.writebacks += 1
+            stats.writebacks += 1
         return Eviction(victim)
 
     def invalidate(self, addr: int) -> Optional[CacheLine]:
         """Drop a line without writeback; returns it if it was resident."""
         addr = self._align(addr)
-        cache_set = self._sets[self._set_index(addr)]
-        for line in cache_set:
-            if line.addr == addr:
-                cache_set.remove(line)
-                return line
+        line = self._index.pop(addr, None)
+        if line is not None:
+            self._sets[self._set_index(addr)].remove(line)
+            return line
         return self.overflow.remove(addr)
 
     def resident_lines(self) -> list[CacheLine]:

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro._bits import bytes_to_int, int_to_bytes
 from repro.compression.base import BLOCK_BYTES
@@ -61,6 +61,10 @@ __all__ = [
 #: Data blocks whose ECC entries share one 64-byte ECC block in the
 #: ECC-Region baseline (2-byte entry per block "to facilitate addressing").
 _BASELINE_ENTRIES_PER_BLOCK = 32
+
+#: Shared stand-in image stored by the fast timing-model paths; the batch
+#: replay engine never reads payload bytes back, only contents *keys*.
+_PLACEHOLDER = bytes(BLOCK_BYTES)
 
 
 class ProtectionMode(enum.Enum):
@@ -150,6 +154,17 @@ class AccessResult:
     ecc_writes: tuple[int, ...] = ()
 
 
+#: Shared outcomes for the fast timing-model paths.  ``AccessResult`` is
+#: frozen, so identical results can be one object — constructing a
+#: nine-field frozen dataclass per access is measurable in the batch
+#: replay.  Addr-dependent results (ECC tuples) are cached per instance.
+_RESULT_WRITE_OK = AccessResult()
+_RESULT_WRITE_REJECTED = AccessResult(accepted=False)
+_RESULT_WRITE_COMPRESSED = AccessResult(compressed=True)
+_RESULT_READ_PLAIN = AccessResult(data=_PLACEHOLDER)
+_RESULT_READ_COP_RAW = AccessResult(data=_PLACEHOLDER, was_uncompressed=True)
+
+
 class ProtectedMemory:
     """Functional main memory behind one protection mode."""
 
@@ -209,6 +224,20 @@ class ProtectedMemory:
         self._dimm_code = code_72_64()
         #: Side store of check bits for the baseline / ECC-DIMM modes.
         self._parity: dict[int, int] = {}
+        #: Fast-path (``fast_write``/``fast_read``) stored-image kinds:
+        #: addr -> True when the resident image is stored compressed.
+        self._fast_kind: dict[int, bool] = {}
+        #: Memoised fast-path outcomes whose only varying field is the ECC
+        #: tuple.  Keyed by the ECC *block* address (for COP-ER that is the
+        #: entry block, which can differ between writes of the same data
+        #: address); the mode is fixed per instance, so shapes never mix.
+        self._fast_write_ecc: dict[int, AccessResult] = {}
+        self._fast_read_ecc: dict[int, AccessResult] = {}
+        self._fast_read_compressed = AccessResult(
+            data=_PLACEHOLDER,
+            compressed=True,
+            decompress_cycles=self.config.decompress_latency,
+        )
 
     # -- address helpers -----------------------------------------------------
 
@@ -482,6 +511,236 @@ class ProtectedMemory:
             decompress_cycles=latency,
             ecc_reads=(self.entry_block_addr(loaded.entry_index),),
         )
+
+    # -- fast timing-model paths (batched replay; docs/kernels.md) -----------
+    #
+    # The batched epoch-replay engine never observes stored payload bits on
+    # the fault-free path: decode(encode(x)) == x, nothing is corrected,
+    # and only the *classification* of a block (compressible / alias) and
+    # the mode bookkeeping reach the stats, the trace events, and the
+    # timing model.  ``fast_write``/``fast_read`` therefore mirror
+    # ``write``/``read`` exactly in every observable effect — counters,
+    # contents keys, entry/region state, trace events, AccessResult flags
+    # and ECC addresses — while skipping content generation, compression,
+    # and all parity arithmetic.  The parity suite (tests/test_batch_sim.py)
+    # enforces the equivalence end to end.
+
+    def fast_write(
+        self,
+        addr: int,
+        compressible: bool,
+        alias: bool = False,
+        content: Optional[Callable[[], bytes]] = None,
+        events: Optional[list] = None,
+    ) -> AccessResult:
+        """Timing-model twin of :meth:`write`.
+
+        ``compressible``/``alias`` are the block's content classification
+        (``compress(...) is not None`` / ``codec.is_alias``); ``content``
+        is a lazy thunk producing the raw 64 bytes, consulted only when
+        COP-ER must run real entry allocation (pointer de-aliasing is
+        content-dependent).  ``events`` collects deferred trace events —
+        the batch engine buffers them so wave-level reordering cannot leak
+        into the trace; ``None`` emits directly.
+        """
+        if addr % BLOCK_BYTES:
+            raise ValueError("address must be block aligned")
+        self.stats.writes += 1
+
+        if self.mode is ProtectionMode.UNPROTECTED:
+            self.contents[addr] = _PLACEHOLDER
+            self.stats.raw_writes += 1
+            return _RESULT_WRITE_OK
+
+        if self.mode is ProtectionMode.ECC_DIMM:
+            self.contents[addr] = _PLACEHOLDER
+            self.stats.raw_writes += 1
+            return _RESULT_WRITE_OK
+
+        if self.mode in (ProtectionMode.ECC_REGION, ProtectionMode.EMBEDDED_ECC):
+            self.contents[addr] = _PLACEHOLDER
+            self.stats.raw_writes += 1
+            ecc_addr = (
+                self.baseline_ecc_addr(addr)
+                if self.mode is ProtectionMode.ECC_REGION
+                else self.embedded_ecc_addr(addr)
+            )
+            self.stats.ecc_block_writes += 1
+            cached = self._fast_write_ecc.get(ecc_addr)
+            if cached is None:
+                cached = AccessResult(ecc_writes=(ecc_addr,))
+                self._fast_write_ecc[ecc_addr] = cached
+            return cached
+
+        if self.mode is ProtectionMode.MEMZIP:
+            self.contents[addr] = _PLACEHOLDER
+            if compressible:
+                self._memzip_compressed.add(addr)
+                self.stats.compressed_writes += 1
+                return _RESULT_WRITE_COMPRESSED
+            self._memzip_compressed.discard(addr)
+            self.ever_incompressible.add(addr)
+            self.stats.raw_writes += 1
+            self.stats.ecc_block_writes += 1
+            ecc_addr = self.embedded_ecc_addr(addr)
+            cached = self._fast_write_ecc.get(ecc_addr)
+            if cached is None:
+                cached = AccessResult(
+                    was_uncompressed=True, ecc_writes=(ecc_addr,)
+                )
+                self._fast_write_ecc[ecc_addr] = cached
+            return cached
+
+        if compressible:
+            result = self._retire_entry_if_any(addr)
+            self.contents[addr] = _PLACEHOLDER
+            self._fast_kind[addr] = True
+            self.stats.compressed_writes += 1
+            if result:
+                return AccessResult(compressed=True, ecc_writes=result)
+            return _RESULT_WRITE_COMPRESSED
+
+        # Incompressible block.
+        self.ever_incompressible.add(addr)
+        if self.mode is ProtectionMode.COP:
+            if alias:
+                self.stats.alias_rejects += 1
+                self._emit_alias_reject(addr, events)
+                return _RESULT_WRITE_REJECTED
+            self.contents[addr] = _PLACEHOLDER
+            self._fast_kind[addr] = False
+            self.stats.raw_writes += 1
+            return _RESULT_WRITE_OK
+
+        # COP-ER: allocation (and its de-aliasing skips) is content
+        # dependent, so run the *real* allocator against the real bytes —
+        # only the displaced-bit gather / (523,512) parity / entry payload
+        # store are skipped (entries keep allocate()'s (0, 0) payload,
+        # which nothing on the fault-free path reads back).
+        assert self.formatter is not None and self.region is not None
+        entry = self.entry_of.get(addr)
+        if entry is not None:
+            self.stats.entry_reuses += 1
+        else:
+            if content is None:
+                raise ValueError(
+                    "COP-ER fast_write needs the block content to allocate "
+                    "a de-aliased entry"
+                )
+            block = content()
+            formatter = self.formatter
+
+            def acceptable(index: int) -> bool:
+                return not formatter.codec.is_alias(
+                    formatter.embed_pointer(block, index)
+                )
+
+            aliased = False
+            entry = self.region.allocate(acceptable)
+            if entry is None:
+                entry = self.region.allocate()  # accept an aliasing pointer
+                aliased = entry is not None
+            if entry is None or aliased:
+                if entry is not None:
+                    self.region.free(entry)
+                self.stats.alias_rejects += 1
+                self._emit_alias_reject(addr, events)
+                return _RESULT_WRITE_REJECTED
+            self.entry_of[addr] = entry
+            self.stats.entry_allocations += 1
+        self.contents[addr] = _PLACEHOLDER
+        self._fast_kind[addr] = False
+        self.stats.raw_writes += 1
+        self.stats.ecc_block_writes += 1
+        ecc_addr = self.entry_block_addr(entry)
+        cached = self._fast_write_ecc.get(ecc_addr)
+        if cached is None:
+            cached = AccessResult(
+                was_uncompressed=True, ecc_writes=(ecc_addr,)
+            )
+            self._fast_write_ecc[ecc_addr] = cached
+        return cached
+
+    def fast_read(self, addr: int) -> AccessResult:
+        """Timing-model twin of :meth:`read` (fault-free, content-free).
+
+        Classification comes from the kind table maintained by
+        :meth:`fast_write` rather than from decoding stored bytes; on the
+        fault-free path the two always agree (compressed images decode
+        compressed, raw images were de-aliased before storing).
+        """
+        if addr not in self.contents:
+            self.stats.read_misses += 1
+            raise BlockNotWrittenError(addr)
+        self.stats.reads += 1
+
+        if self.mode is ProtectionMode.UNPROTECTED:
+            return _RESULT_READ_PLAIN
+
+        if self.mode is ProtectionMode.ECC_DIMM:
+            return _RESULT_READ_PLAIN
+
+        if self.mode in (ProtectionMode.ECC_REGION, ProtectionMode.EMBEDDED_ECC):
+            self.stats.ecc_block_reads += 1
+            ecc_addr = (
+                self.baseline_ecc_addr(addr)
+                if self.mode is ProtectionMode.ECC_REGION
+                else self.embedded_ecc_addr(addr)
+            )
+            cached = self._fast_read_ecc.get(ecc_addr)
+            if cached is None:
+                cached = AccessResult(
+                    data=_PLACEHOLDER, ecc_reads=(ecc_addr,)
+                )
+                self._fast_read_ecc[ecc_addr] = cached
+            return cached
+
+        if self.mode is ProtectionMode.MEMZIP:
+            if addr in self._memzip_compressed:
+                self.stats.compressed_reads += 1
+                return self._fast_read_compressed
+            self.stats.ecc_block_reads += 1
+            ecc_addr = self.embedded_ecc_addr(addr)
+            cached = self._fast_read_ecc.get(ecc_addr)
+            if cached is None:
+                cached = AccessResult(
+                    data=_PLACEHOLDER,
+                    was_uncompressed=True,
+                    ecc_reads=(ecc_addr,),
+                )
+                self._fast_read_ecc[ecc_addr] = cached
+            return cached
+
+        if self._fast_kind[addr]:
+            self.stats.compressed_reads += 1
+            return self._fast_read_compressed
+
+        if self.mode is ProtectionMode.COP:
+            return _RESULT_READ_COP_RAW
+
+        # COP-ER raw block: the embedded pointer names this block's entry.
+        self.stats.ecc_block_reads += 1
+        ecc_addr = self.entry_block_addr(self.entry_of[addr])
+        cached = self._fast_read_ecc.get(ecc_addr)
+        if cached is None:
+            cached = AccessResult(
+                data=_PLACEHOLDER,
+                was_uncompressed=True,
+                decompress_cycles=self.config.decompress_latency,
+                ecc_reads=(ecc_addr,),
+            )
+            self._fast_read_ecc[ecc_addr] = cached
+        return cached
+
+    def _emit_alias_reject(self, addr: int, events: Optional[list]) -> None:
+        if not self.obs.enabled:
+            return
+        if events is None:
+            self.obs.trace.emit("alias_reject", addr=addr, mode=self.mode.value)
+        else:
+            events.append(
+                ("alias_reject", {"addr": addr, "mode": self.mode.value})
+            )
 
     def _count_read(
         self, corrected: bool, uncorrectable: bool, addr: Optional[int] = None

@@ -10,11 +10,13 @@ writeback — trails COP-ER by ~8 %.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional
 
 from repro.core.controller import ProtectionMode
 from repro.experiments.common import ExperimentTable, Scale, geomean
 from repro.experiments.runner import SimJob, run_jobs
+from repro.simulation.config import SCALED_SYSTEM
 from repro.workloads.profiles import MEMORY_INTENSIVE, PROFILES
 
 __all__ = ["MODES", "run", "main"]
@@ -32,14 +34,29 @@ def run(
     cores: int = 4,
     workers: Optional[int] = None,
     use_cache: Optional[bool] = None,
+    use_batch: Optional[bool] = None,
 ) -> ExperimentTable:
+    """Produce the Fig. 11 table.
+
+    ``use_batch`` replays the traces through the batched epoch-replay
+    engine (``--batch`` on the CLI); results are bit-identical to the
+    scalar loop — ``make sim-parity-smoke`` byte-diffs the two.
+    """
+    system = replace(SCALED_SYSTEM, use_batch=True) if use_batch else SCALED_SYSTEM
     table = ExperimentTable(
         title="Figure 11: IPC normalized to the unprotected configuration",
         columns=tuple(label for label, _ in MODES),
         percent=False,
     )
     jobs = [
-        SimJob(benchmark=name, mode=mode, scale=scale, cores=cores, track=False)
+        SimJob(
+            benchmark=name,
+            mode=mode,
+            scale=scale,
+            cores=cores,
+            system=system,
+            track=False,
+        )
         for name in MEMORY_INTENSIVE
         for _, mode in MODES
     ]

@@ -49,7 +49,11 @@ import numpy as np
 
 from repro._bits import Bits, int_to_bytes
 from repro.analysis import sanitizer
-from repro.compression.base import BLOCK_BYTES
+from repro.compression.base import BLOCK_BYTES, SCHEME_TAG_BITS
+from repro.compression.combined import CombinedCompressor
+from repro.compression.msb import MSBCompressor
+from repro.compression.rle import RLECompressor
+from repro.compression.txt import TextCompressor
 from repro.core.codec import BlockKind, COPCodec, DecodedBlock, EncodedBlock
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 
@@ -91,6 +95,66 @@ def _check_array(blocks: np.ndarray) -> np.ndarray:
     if blocks.dtype != np.uint8:
         raise ValueError(f"expected uint8 blocks, got {blocks.dtype}")
     return blocks
+
+
+# -- vector compressibility predicates ---------------------------------------
+#
+# Array translations of the scalar scheme ``compress(...) is not None``
+# decisions (the only part of the encoder the batch replay path consults).
+# Each mirrors its scalar counterpart exactly, including the budget guards,
+# so ``compressible_many`` stays bit-identical to first-fit probing.
+
+
+def _txt_compressible(blocks: np.ndarray, inner_budget: int) -> np.ndarray:
+    """TXT: every byte has a clear MSB (and 448 payload bits must fit)."""
+    if TextCompressor.compressed_bits > inner_budget:
+        return np.zeros(blocks.shape[0], dtype=bool)
+    return ~(blocks & 0x80).any(axis=1)
+
+
+def _msb_compressible(
+    blocks: np.ndarray, scheme: MSBCompressor, inner_budget: int
+) -> np.ndarray:
+    """MSB: the compared field matches across all eight 8-byte words."""
+    if scheme.compressed_bits > inner_budget:
+        return np.zeros(blocks.shape[0], dtype=bool)
+    # Stored words are little-endian byte slices, matching bytes_to_int.
+    words = blocks.reshape(-1, 8, 8).view("<u8")[:, :, 0]
+    field_mask = np.uint64((1 << scheme.compare_bits) - 1)
+    shift = np.uint64(scheme.field_start)
+    fields = (words >> shift) & field_mask
+    return (fields == fields[:, :1]).all(axis=1)
+
+
+def _rle_compressible(
+    blocks: np.ndarray, scheme: RLECompressor, inner_budget: int
+) -> np.ndarray:
+    """RLE: greedy run scan frees the threshold within the payload budget.
+
+    Replays ``find_runs`` for every row at once.  The scalar cursor only
+    ever sits on even offsets (non-runs advance by 2, runs by
+    ``length + length % 2``), and a 3-byte run skips exactly the next even
+    offset — so one pass over the 32 even offsets with a carry flag per
+    row reproduces the greedy scan.
+    """
+    min_free = scheme.min_free_bits
+    count = blocks.shape[0]
+    freed = np.zeros(count, dtype=np.int64)
+    skip = np.zeros(count, dtype=bool)  # 3-byte run covered this offset
+    for offset in range(0, BLOCK_BYTES - 1, 2):
+        active = ~skip & (freed < min_free)
+        skip = np.zeros(count, dtype=bool)
+        b0 = blocks[:, offset]
+        is_run = active & (b0 == blocks[:, offset + 1]) & ((b0 == 0) | (b0 == 0xFF))
+        if offset + 2 < BLOCK_BYTES:
+            length3 = is_run & (blocks[:, offset + 2] == b0)
+            skip = length3
+        else:
+            length3 = np.zeros(count, dtype=bool)
+        freed += np.where(is_run, np.where(length3, 17, 9), 0)
+    # compress() additionally guards the assembled payload (512 - freed
+    # bits) against the budget; replicate so mismatched parameters agree.
+    return (freed >= min_free) & ((512 - freed) <= inner_budget)
 
 
 class BatchCodec:
@@ -141,6 +205,41 @@ class BatchCodec:
     def is_alias_many(self, blocks: np.ndarray) -> np.ndarray:
         """Alias mask per row — vector form of ``is_alias``."""
         return self.codeword_count_many(blocks) >= self._threshold
+
+    def compressible_many(self, blocks: np.ndarray) -> np.ndarray:
+        """Per-row compressibility: would ``encode`` store each row compressed?
+
+        Vector form of ``compressor.compress(row, capacity_bits) is not
+        None`` — the only encode outcome the batch replay engine needs
+        (the stored payload bits never reach an observable output on the
+        fault-free path).  The COP hybrids (TXT/MSB/RLE under a
+        :class:`CombinedCompressor`) are evaluated with array predicates;
+        any other compressor falls back to the scalar probe per row.
+        """
+        _check_array(blocks)
+        compressor = self.codec.compressor
+        budget = self.config.capacity_bits
+        if isinstance(compressor, CombinedCompressor) and all(
+            isinstance(s, (TextCompressor, MSBCompressor, RLECompressor))
+            for s in compressor.schemes
+        ):
+            inner_budget = budget - SCHEME_TAG_BITS
+            mask = np.zeros(blocks.shape[0], dtype=bool)
+            for scheme in compressor.schemes:
+                if isinstance(scheme, TextCompressor):
+                    mask |= _txt_compressible(blocks, inner_budget)
+                elif isinstance(scheme, MSBCompressor):
+                    mask |= _msb_compressible(blocks, scheme, inner_budget)
+                else:
+                    mask |= _rle_compressible(blocks, scheme, inner_budget)
+            return mask
+        return np.array(
+            [
+                compressor.compress(row.tobytes(), budget) is not None
+                for row in blocks
+            ],
+            dtype=bool,
+        )
 
     # -- encoder ------------------------------------------------------------
 

@@ -18,6 +18,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import NamedTuple, Optional, Sequence
 
+import numpy as np
+
 from repro.memory.address import AddressMapper, DRAMGeometry, MappedAddress
 
 __all__ = [
@@ -44,6 +46,22 @@ class DRAMTiming:
     tfaw: int = 24  # four-activate window per rank (0 disables)
     trefi_ns: float = 7800.0  # refresh interval (0 disables refresh)
     trfc_ns: float = 260.0  # refresh cycle time (4 Gb-class devices)
+
+    def __post_init__(self) -> None:
+        # The refresh window is the last tRFC of each tREFI interval.  A
+        # device that spends its whole interval (or more) refreshing can
+        # never accept a command: ``_after_refresh`` would "push" a start
+        # time into a window that covers all time, silently returning a
+        # time still inside a refresh.  Reject the impossible geometry at
+        # construction instead of producing nonsense timings.
+        if self.trfc_ns < 0:
+            raise ValueError(f"trfc_ns must be non-negative: {self.trfc_ns}")
+        if self.trefi_ns > 0 and self.trfc_ns >= self.trefi_ns:
+            raise ValueError(
+                f"refresh window tRFC ({self.trfc_ns} ns) must be shorter "
+                f"than the refresh interval tREFI ({self.trefi_ns} ns); "
+                "set trefi_ns=0 to disable refresh entirely"
+            )
 
     def ns(self, cycles: float) -> float:
         return cycles * self.tck_ns
@@ -165,9 +183,42 @@ class DRAMSystem:
             ]
             for _ in range(geometry.channels)
         ]
+        #: Flat view of the same bank objects, indexed by
+        #: ``(channel * ranks + rank) * banks + bank`` — the wave kernel's
+        #: vectorised address decomposition lands directly on this.
+        self._flat_banks = [
+            bank
+            for channel in self._banks
+            for rank in channel
+            for bank in rank
+        ]
         self._bus_free_ns = [0.0] * geometry.channels
         #: Rolling activate history per (channel, rank) for tFAW.
         self._act_history: dict[tuple[int, int], list[float]] = {}
+        # Wave-kernel constants, hoisted once (config is frozen): timing
+        # conversions and the positional address-decompose plan.
+        timing = config.timing
+        self._wave_consts = (
+            timing.ns(timing.cl),
+            timing.ns(timing.trp),
+            timing.ns(timing.trcd),
+            timing.ns(timing.tras),
+            timing.ns(timing.tras + timing.trp),
+            timing.ns(timing.burst_cycles),
+            timing.tfaw,
+            timing.ns(timing.tfaw),
+            timing.trefi_ns,
+            timing.trefi_ns - timing.trfc_ns,
+        )
+        spec = self.mapper.field_spec
+        self._wave_sizes = tuple(size for _, size in spec)
+        names = [name for name, _ in spec]
+        self._wave_pos = (
+            names.index("channel"),
+            names.index("rank"),
+            names.index("bank"),
+            names.index("row"),
+        )
         self.stats = DRAMStats()
         self.obs = obs if obs is not None else NULL_OBS
         #: Hot-path flag: per-bank accounting only when someone is looking.
@@ -273,7 +324,169 @@ class DRAMSystem:
                 {"row_hits": hits, "row_misses": misses},
             )
 
-    # -- batched access (FR-FCFS inside a ready batch) ---------------------
+    # -- batched access (the wave kernel) ----------------------------------
+
+    def service_wave(
+        self, requests: Sequence[tuple[int, bool]], now_ns: float
+    ) -> tuple[list[float], list[float], list[bool]]:
+        """Service a wave of simultaneously ready requests *in order*.
+
+        Bit-exact replacement for calling :meth:`access` once per request
+        at the same ``now_ns`` (same float operations in the same order,
+        same bank/bus/stats mutations), but with the address decomposition
+        vectorised up front and the command-timing recurrence run as one
+        tight loop over pre-resolved bank state.  Returns per-request
+        ``(start_ns, complete_ns, row_hit)`` as three parallel lists.
+
+        The serial recurrence is irreducible — each request's start time
+        depends on the bank/bus state its predecessors left behind — so
+        this is a kernel over a *wave*, carrying bank state across calls
+        exactly like the scalar path does.
+        """
+        n = len(requests)
+        if n == 0:
+            return [], [], []
+        geometry = self.config.geometry
+        if n <= 24:
+            # A short wave (one MSHR group): the pure-Python decomposition
+            # beats the numpy path's array setup.  Same integer arithmetic
+            # either way — see AddressMapper.map_lists.
+            block_bytes = geometry.block_bytes
+            total_blocks = geometry.total_blocks
+            sizes = self._wave_sizes
+            ch_pos, rank_pos, bank_pos, row_pos = self._wave_pos
+            channels = []
+            rows = []
+            ranks = []
+            flat_index = []
+            rpc = geometry.ranks_per_channel
+            bpr = geometry.banks_per_rank
+            vals = [0] * len(sizes)
+            for request in requests:
+                block = (request[0] // block_bytes) % total_blocks
+                for j, size in enumerate(sizes):
+                    vals[j] = block % size
+                    block //= size
+                ch = vals[ch_pos]
+                rank = vals[rank_pos]
+                channels.append(ch)
+                rows.append(vals[row_pos])
+                ranks.append(rank)
+                flat_index.append(
+                    (ch * rpc + rank) * bpr + vals[bank_pos]
+                )
+        else:
+            addrs = np.fromiter(
+                (request[0] for request in requests), dtype=np.int64, count=n
+            )
+            fields = self.mapper.map_arrays(addrs)
+            channel = fields["channel"]
+            rows = fields["row"].tolist()
+            flat_index = (
+                (channel * geometry.ranks_per_channel + fields["rank"])
+                * geometry.banks_per_rank
+                + fields["bank"]
+            ).tolist()
+            channels = channel.tolist()
+            ranks = fields["rank"].tolist()
+
+        (
+            cl_ns,
+            trp_ns,
+            trcd_ns,
+            tras_ns,
+            tras_trp_ns,
+            burst_ns,
+            tfaw,
+            tfaw_ns,
+            trefi,
+            refresh_edge,
+        ) = self._wave_consts
+        closed = self.config.page_policy is PagePolicy.CLOSED
+        flat_banks = self._flat_banks
+        bus = self._bus_free_ns
+        history_map = self._act_history
+        track = self._track_banks
+        per_bank = self.stats.per_bank
+
+        busy_ns = self.stats.busy_ns
+        reads = writes = row_hits = row_misses = 0
+        starts: list[float] = []
+        completes: list[float] = []
+        hits: list[bool] = []
+        for request, row, ch, rank, flat in zip(
+            requests, rows, channels, ranks, flat_index
+        ):
+            bank = flat_banks[flat]
+            start = now_ns if now_ns > bank.ready_ns else bank.ready_ns
+            if trefi > 0:
+                position = start % trefi
+                if position >= refresh_edge:
+                    start = start - position + trefi
+            if bank.open_row == row:
+                row_hit = True
+                data_ready = start + cl_ns
+            else:
+                row_hit = False
+                t = start
+                if bank.open_row is not None:
+                    after_ras = bank.act_ns + tras_ns
+                    if after_ras > t:
+                        t = after_ras
+                    t += trp_ns
+                if tfaw:
+                    key = (ch, rank)
+                    history = history_map.get(key)
+                    if history is None:
+                        history = history_map[key] = []
+                    if len(history) >= 4:
+                        window = history[-4] + tfaw_ns
+                        if window > t:
+                            t = window
+                    history.append(t)
+                    del history[:-4]
+                t += trcd_ns
+                bank.act_ns = t - trcd_ns
+                bank.open_row = row
+                data_ready = t + cl_ns
+            burst_start = bus[ch]
+            if data_ready > burst_start:
+                burst_start = data_ready
+            complete = burst_start + burst_ns
+            bus[ch] = complete
+            bank.ready_ns = complete
+            if closed:
+                precharged = bank.act_ns + tras_trp_ns
+                bank.ready_ns = (
+                    complete if complete > precharged else precharged
+                )
+                bank.open_row = None
+            busy_ns += complete - start
+            if request[1]:
+                writes += 1
+            else:
+                reads += 1
+            if row_hit:
+                row_hits += 1
+            else:
+                row_misses += 1
+            if track:
+                entry = per_bank.setdefault(
+                    (ch, rank, flat % geometry.banks_per_rank),
+                    [0, 0],
+                )
+                entry[0 if row_hit else 1] += 1
+            starts.append(start)
+            completes.append(complete)
+            hits.append(row_hit)
+
+        stats = self.stats
+        stats.busy_ns = busy_ns
+        stats.reads += reads
+        stats.writes += writes
+        stats.row_hits += row_hits
+        stats.row_misses += row_misses
+        return starts, completes, hits
 
     def access_batch(
         self, requests: Sequence[tuple[int, bool]], now_ns: float
@@ -285,13 +498,30 @@ class DRAMSystem:
         controller's first-ready first-come-first-served queue at the
         granularity the interval simulator needs: within one miss group,
         requests to open rows are scheduled before row conflicts.
+
+        Returns exactly ``len(requests)`` timings.  An unfilled slot would
+        mean the scheduler dropped a request on the floor; that is an
+        invariant violation and raises instead of being silently hidden
+        (the old ``[r for r in results if r is not None]`` filter shrank
+        the result list, desynchronising it from the request order).
         """
         order = sorted(
             range(len(requests)),
             key=lambda i: (not self.would_row_hit(requests[i][0]), i),
         )
+        starts, completes, hits = self.service_wave(
+            [requests[i] for i in order], now_ns
+        )
+        serviced = min(len(starts), len(completes), len(hits))
+        if serviced != len(requests):
+            raise RuntimeError(
+                f"access_batch serviced {serviced} of "
+                f"{len(requests)} requests; the FR-FCFS order must "
+                "cover every slot exactly once"
+            )
         results: list[Optional[AccessTiming]] = [None] * len(requests)
-        for i in order:
-            addr, is_write = requests[i]
-            results[i] = self.access(addr, is_write, now_ns)
-        return [r for r in results if r is not None]
+        for position, i in enumerate(order):
+            results[i] = AccessTiming(
+                starts[position], completes[position], hits[position]
+            )
+        return [result for result in results if result is not None]

@@ -68,7 +68,14 @@ class PerfResult:
 
     @property
     def total_cycles(self) -> float:
-        """Cycles until the last core finishes (the run's makespan)."""
+        """Cycles until the last core finishes (the run's makespan).
+
+        A run with no cores (or no epochs) has an empty makespan — report
+        zero rather than raising, so degenerate traces flow through the
+        ratio properties (which all guard against a zero denominator).
+        """
+        if not self.cores:
+            return 0.0
         return max(core.total_ns for core in self.cores) * self.cpu_ghz
 
     @property
@@ -322,8 +329,21 @@ class MultiCoreSystem:
         core.result.epochs += 1
 
     def run(self) -> PerfResult:
-        """Replay all traces to completion; cores interleave by time."""
+        """Replay all traces to completion; cores interleave by time.
+
+        With ``config.use_batch`` the replay goes through the batched
+        struct-of-arrays engine (:mod:`repro.simulation.batch`), which is
+        bit-exact with this scalar loop — same stats, timings, and trace
+        events — just faster.
+        """
         import heapq
+
+        if self.config.use_batch:
+            from repro.simulation.batch import BatchReplay
+
+            BatchReplay(self).replay()
+            self.publish_metrics()
+            return self._perf_result()
 
         with self.obs.profile.phase("system.run"), self.obs.trace.span(
             "system.run", cores=len(self._cores)
@@ -341,6 +361,9 @@ class MultiCoreSystem:
                 heapq.heappush(heap, (core.time_ns, index))
 
         self.publish_metrics()
+        return self._perf_result()
+
+    def _perf_result(self) -> PerfResult:
         return PerfResult(
             cores=tuple(core.result for core in self._cores),
             cpu_ghz=self.config.cpu_ghz,

@@ -38,15 +38,24 @@ class BlockSource:
         for name in self._names:
             total += weights[name]
             self._cumulative.append(total)
+        # component_of is a pure function of (seed, page); hot loops hit the
+        # same pages over and over, so memoise rather than re-seed a Random.
+        self._component_cache: dict[int, str] = {}
 
     def component_of(self, addr: int) -> str:
         """The archetype assigned to the page containing ``addr``."""
         page = addr // _PAGE_BYTES
+        cached = self._component_cache.get(page)
+        if cached is not None:
+            return cached
         u = random.Random(f"{self.seed}|page|{page}").random()
+        component = self._names[-1]
         for name, edge in zip(self._names, self._cumulative):
             if u <= edge:
-                return name
-        return self._names[-1]
+                component = name
+                break
+        self._component_cache[page] = component
+        return component
 
     def block(self, addr: int, version: int = 0) -> bytes:
         """The 64 bytes stored at ``addr`` after ``version`` overwrites."""

@@ -45,37 +45,50 @@ def _zeros(rng: random.Random) -> bytes:
 
 def _small_int32(rng: random.Random) -> bytes:
     """Small 32-bit values (counters, indices — usually non-negative)."""
+    # rng.choice((4, 8, 12, 16)) draws _randbelow(4): getrandbits over
+    # (4).bit_length() == 3 bits, rejecting values >= 4 — inlined below
+    # verbatim so the consumed bit stream is identical.
     signed = rng.random() < 0.3
-    out = bytearray()
+    rb = rng.getrandbits
+    magnitudes = (4, 8, 12, 16)
+    values = []
     for _ in range(BLOCK_BYTES // 4):
-        magnitude = rng.choice((4, 8, 12, 16))
-        value = rng.getrandbits(magnitude)
+        r = rb(3)
+        while r >= 4:
+            r = rb(3)
+        magnitude = magnitudes[r]
+        value = rb(magnitude)
         if signed:
             value -= 1 << (magnitude - 1)
-        out += struct.pack("<i", value)
-    return bytes(out)
+        values.append(value)
+    return struct.pack("<16i", *values)
 
 
 def _small_int64(rng: random.Random) -> bytes:
     """Small 64-bit values (sizes, counts — usually non-negative)."""
     signed = rng.random() < 0.3
-    out = bytearray()
+    rb = rng.getrandbits
+    magnitudes = (8, 16, 24, 32)
+    values = []
     for _ in range(BLOCK_BYTES // 8):
-        magnitude = rng.choice((8, 16, 24, 32))
-        value = rng.getrandbits(magnitude)
+        r = rb(3)
+        while r >= 4:
+            r = rb(3)
+        magnitude = magnitudes[r]
+        value = rb(magnitude)
         if signed:
             value -= 1 << (magnitude - 1)
-        out += struct.pack("<q", value)
-    return bytes(out)
+        values.append(value)
+    return struct.pack("<8q", *values)
 
 
 def _pointer64(rng: random.Random) -> bytes:
     """Eight pointers into one 16 MB heap region (top 40 bits shared)."""
-    base = (rng.getrandbits(24) << 24) | (0x7F << 40)
-    out = bytearray()
-    for _ in range(BLOCK_BYTES // 8):
-        out += struct.pack("<Q", base + rng.getrandbits(24))
-    return bytes(out)
+    rb = rng.getrandbits
+    base = (rb(24) << 24) | (0x7F << 40)
+    return struct.pack(
+        "<8Q", *(base + rb(24) for _ in range(BLOCK_BYTES // 8))
+    )
 
 
 def _float64(rng: random.Random, mixed_signs: bool) -> bytes:
@@ -87,14 +100,28 @@ def _float64(rng: random.Random, mixed_signs: bool) -> bytes:
     stay within one 64-binade band; a per-block magnitude around 2**-8
     with +-2 binades of per-element spread stays safely inside it.
     """
+    # Inlined equivalents of the stdlib draws (identical bit stream):
+    # uniform(1.0, 2.0) == 1.0 + (2.0 - 1.0) * random() == 1.0 + random(),
+    # and randrange(3) == _randbelow(3): getrandbits(2) with rejection.
     block_exp = rng.randrange(-24, -4)  # binade band well inside [2^-63, 1)
-    out = bytearray()
+    scales = (
+        2.0**block_exp,
+        2.0 ** (block_exp + 1),
+        2.0 ** (block_exp + 2),
+    )
+    rnd = rng.random
+    rb = rng.getrandbits
+    values = []
     for _ in range(BLOCK_BYTES // 8):
-        value = rng.uniform(1.0, 2.0) * 2.0 ** (block_exp + rng.randrange(3))
-        if mixed_signs and rng.random() < 0.5:
+        mantissa = 1.0 + rnd()
+        spread = rb(2)
+        while spread >= 3:
+            spread = rb(2)
+        value = mantissa * scales[spread]
+        if mixed_signs and rnd() < 0.5:
             value = -value
-        out += struct.pack("<d", value)
-    return bytes(out)
+        values.append(value)
+    return struct.pack("<8d", *values)
 
 
 def _float64_pos(rng: random.Random) -> bytes:
@@ -111,15 +138,25 @@ def _float32_pair(rng: random.Random) -> bytes:
     MSB compression uses an 8-byte stride, so only the upper float of each
     pair enters the comparison — the case Section 3.2.1 notes still works.
     """
+    # randrange(2) == _randbelow(2): getrandbits over (2).bit_length()
+    # == 2 bits, rejecting values >= 2; uniform(1.0, 2.0) == 1.0 +
+    # random() — see _float64.
     block_exp = rng.randrange(-6, 0)  # narrow binade band (see _float64)
     mixed = rng.random() < 0.4  # magnitudes (distances, norms) skew positive
-    out = bytearray()
+    scales = (2.0**block_exp, 2.0 ** (block_exp + 1))
+    rnd = rng.random
+    rb = rng.getrandbits
+    values = []
     for _ in range(BLOCK_BYTES // 4):
-        value = rng.uniform(1.0, 2.0) * 2.0 ** (block_exp + rng.randrange(2))
-        if mixed and rng.random() < 0.5:
+        mantissa = 1.0 + rnd()
+        spread = rb(2)
+        while spread >= 2:
+            spread = rb(2)
+        value = mantissa * scales[spread]
+        if mixed and rnd() < 0.5:
             value = -value
-        out += struct.pack("<f", value)
-    return bytes(out)
+        values.append(value)
+    return struct.pack("<16f", *values)
 
 
 _TEXT_ALPHABET = (
@@ -128,13 +165,35 @@ _TEXT_ALPHABET = (
 )
 
 
+def _text_chars(rng: random.Random, count: int) -> bytearray:
+    """``count`` draws from the alphabet, inlining ``rng.choice``.
+
+    ``choice`` over the alphabet is ``_randbelow(len(alphabet))``:
+    ``getrandbits(bit_length)`` with rejection of out-of-range values —
+    replicated here verbatim so the bit stream is identical.
+    """
+    rb = rng.getrandbits
+    alphabet = _TEXT_ALPHABET
+    n = len(alphabet)
+    k = n.bit_length()
+    out = bytearray(count)
+    for i in range(count):
+        r = rb(k)
+        while r >= n:
+            r = rb(k)
+        out[i] = alphabet[r]
+    return out
+
+
 def _ascii_text(rng: random.Random) -> bytes:
-    return bytes(rng.choice(_TEXT_ALPHABET) for _ in range(BLOCK_BYTES))
+    return bytes(_text_chars(rng, BLOCK_BYTES))
 
 
 def _utf16_text(rng: random.Random) -> bytes:
-    chars = bytes(rng.choice(_TEXT_ALPHABET) for _ in range(BLOCK_BYTES // 2))
-    return b"".join(bytes((c, 0)) for c in chars)
+    chars = _text_chars(rng, BLOCK_BYTES // 2)
+    out = bytearray(BLOCK_BYTES)
+    out[::2] = chars
+    return bytes(out)
 
 
 def _sparse64(rng: random.Random) -> bytes:

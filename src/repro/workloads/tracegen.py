@@ -14,12 +14,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterable, Iterator
+
+import numpy as np
 
 from repro.compression.base import BLOCK_BYTES
 from repro.workloads.profiles import BenchmarkProfile
 
-__all__ = ["Access", "Epoch", "TraceGenerator"]
+__all__ = ["Access", "Epoch", "EpochArrays", "TraceGenerator"]
 
 
 @dataclass(frozen=True)
@@ -36,6 +38,88 @@ class Epoch:
 
     instructions: int
     accesses: tuple[Access, ...]
+
+
+@dataclass(frozen=True)
+class EpochArrays:
+    """Struct-of-arrays form of an epoch trace (the batch replay input).
+
+    The per-object :class:`Epoch`/:class:`Access` stream is pleasant to
+    generate and test against, but replaying it one attribute lookup at a
+    time is what keeps the scalar simulator slow.  This flattens a whole
+    trace into four parallel arrays:
+
+    * ``instructions[e]`` — instruction count of epoch ``e`` (uint64);
+    * ``starts`` — epoch-boundary offsets into the access arrays, length
+      ``epochs + 1`` (uint64): epoch ``e`` owns accesses
+      ``starts[e]:starts[e + 1]``;
+    * ``addrs[i]`` / ``is_store[i]`` — the flattened miss stream.
+
+    Round-tripping through :meth:`to_epochs` reproduces the original
+    stream exactly (the parity suite leans on that).
+    """
+
+    instructions: np.ndarray
+    starts: np.ndarray
+    addrs: np.ndarray
+    is_store: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.starts) != len(self.instructions) + 1:
+            raise ValueError("starts must hold one boundary per epoch + 1")
+        if len(self.addrs) != len(self.is_store):
+            raise ValueError("addrs and is_store must align")
+        if len(self.starts) and int(self.starts[-1]) != len(self.addrs):
+            raise ValueError("final boundary must close the access stream")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def accesses(self) -> int:
+        return len(self.addrs)
+
+    @classmethod
+    def from_epochs(cls, epochs: Iterable[Epoch]) -> "EpochArrays":
+        """Flatten an epoch stream (materialises the whole trace)."""
+        instructions: list[int] = []
+        starts: list[int] = [0]
+        addrs: list[int] = []
+        stores: list[bool] = []
+        for epoch in epochs:
+            instructions.append(epoch.instructions)
+            for access in epoch.accesses:
+                addrs.append(access.addr)
+                stores.append(access.is_store)
+            starts.append(len(addrs))
+        return cls(
+            instructions=np.asarray(instructions, dtype=np.uint64),
+            starts=np.asarray(starts, dtype=np.uint64),
+            addrs=np.asarray(addrs, dtype=np.uint64),
+            is_store=np.asarray(stores, dtype=np.bool_),
+        )
+
+    def epoch_slice(self, index: int) -> tuple[int, int, int]:
+        """``(instructions, lo, hi)`` for epoch ``index``."""
+        return (
+            int(self.instructions[index]),
+            int(self.starts[index]),
+            int(self.starts[index + 1]),
+        )
+
+    def to_epochs(self) -> Iterator[Epoch]:
+        """Inverse of :meth:`from_epochs` (exact round trip)."""
+        addrs = self.addrs.tolist()
+        stores = self.is_store.tolist()
+        bounds = self.starts.tolist()
+        for index, instructions in enumerate(self.instructions.tolist()):
+            lo, hi = bounds[index], bounds[index + 1]
+            yield Epoch(
+                int(instructions),
+                tuple(
+                    Access(addrs[i], stores[i]) for i in range(lo, hi)
+                ),
+            )
 
 
 class TraceGenerator:
@@ -93,6 +177,57 @@ class TraceGenerator:
             )
             instructions = max(1, round(per_miss_instr * size))
             yield Epoch(instructions, accesses)
+
+    def epoch_arrays(self, count: int) -> EpochArrays:
+        """``count`` epochs, flattened straight into struct-of-arrays form.
+
+        Consumes the RNG in exactly the order :meth:`epochs` does (group
+        size, then per access: block draw, then store draw), so a
+        generator seeded identically produces the same trace through
+        either method — ``epoch_arrays(n)`` equals
+        ``EpochArrays.from_epochs(epochs(n))`` element for element,
+        without materialising the per-object stream.
+        """
+        profile = self.profile
+        per_miss_instr = 1000.0 / max(profile.mpki, 1e-3)
+        rng_random = self._rng.random
+        randrange = self._rng.randrange
+        locality = profile.locality
+        write_fraction = profile.write_fraction
+        base = self.base_addr
+        footprint = self.footprint_blocks
+        mean = max(profile.mlp, 1.0)
+        p = 1.0 / mean
+        clamp = 8 * mean
+        instructions: list[int] = []
+        starts: list[int] = [0]
+        addrs: list[int] = []
+        stores: list[bool] = []
+        addr_append = addrs.append
+        store_append = stores.append
+        cursor = self._cursor
+        for _ in range(count):
+            size = 1  # _group_size, inlined
+            while rng_random() > p:
+                size += 1
+                if size >= clamp:
+                    break
+            for _ in range(size):
+                if rng_random() < locality:  # _next_block, inlined
+                    cursor = (cursor + 1) % footprint
+                else:
+                    cursor = randrange(footprint)
+                addr_append(base + cursor * BLOCK_BYTES)
+                store_append(rng_random() < write_fraction)
+            instructions.append(max(1, round(per_miss_instr * size)))
+            starts.append(len(addrs))
+        self._cursor = cursor
+        return EpochArrays(
+            instructions=np.asarray(instructions, dtype=np.uint64),
+            starts=np.asarray(starts, dtype=np.uint64),
+            addrs=np.asarray(addrs, dtype=np.uint64),
+            is_store=np.asarray(stores, dtype=np.bool_),
+        )
 
     def sample_blocks(self, count: int, source_seed: int = 0) -> Iterator[int]:
         """Addresses only — used by the compressibility experiments."""

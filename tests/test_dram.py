@@ -196,3 +196,87 @@ class TestBatchScheduling:
         dram = DRAMSystem()
         requests = [(i * 64, False) for i in range(10)]
         assert len(dram.access_batch(requests, 0.0)) == 10
+
+    def test_batch_raises_on_dropped_request(self):
+        """A scheduler that loses a request is an invariant violation, not
+        a silently shorter result list (the old filter desynchronised the
+        results from the request order)."""
+
+        class DroppyDRAM(DRAMSystem):
+            def service_wave(self, requests, now_ns):
+                starts, completes, hits = super().service_wave(
+                    requests, now_ns
+                )
+                return starts[:-1], completes[:-1], hits[:-1]
+
+        dram = DroppyDRAM()
+        with pytest.raises(RuntimeError, match="serviced 3 of 4"):
+            dram.access_batch([(i * 64, False) for i in range(4)], 0.0)
+
+    def test_batch_matches_scalar_order_and_timing(self):
+        """access_batch through service_wave equals issuing the sorted
+        row-hit-first order through scalar access()."""
+        reference = DRAMSystem()
+        batch = DRAMSystem()
+        warm = [(i * 64, False) for i in range(6)]
+        for addr, write in warm:
+            reference.access(addr, write, 0.0)
+        batch.access_batch(warm, 0.0)
+        requests = [(i * 64, i % 2 == 0) for i in range(8)]
+        order = sorted(
+            range(len(requests)),
+            key=lambda i: (not reference.would_row_hit(requests[i][0]), i),
+        )
+        expected = [None] * len(requests)
+        for i in order:
+            addr, write = requests[i]
+            expected[i] = reference.access(addr, write, 1000.0)
+        got = batch.access_batch(requests, 1000.0)
+        assert got == expected
+
+
+class TestTimingValidation:
+    def test_trfc_must_be_nonnegative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            DRAMTiming(trfc_ns=-1.0)
+
+    def test_refresh_window_must_fit_interval(self):
+        with pytest.raises(ValueError, match="tRFC"):
+            DRAMTiming(trefi_ns=100.0, trfc_ns=100.0)
+        with pytest.raises(ValueError, match="tRFC"):
+            DRAMTiming(trefi_ns=100.0, trfc_ns=250.0)
+
+    def test_zero_trefi_disables_refresh(self):
+        timing = DRAMTiming(trefi_ns=0.0, trfc_ns=260.0)
+        dram = DRAMSystem(DRAMConfig(timing=timing))
+        assert dram._after_refresh(123.456) == 123.456
+
+    def test_valid_window_accepted(self):
+        DRAMTiming(trefi_ns=7800.0, trfc_ns=7799.0)
+
+
+class TestRefreshWindowEdges:
+    """_after_refresh at exactly the window boundaries."""
+
+    def _dram(self):
+        return DRAMSystem(
+            DRAMConfig(timing=DRAMTiming(trefi_ns=1000.0, trfc_ns=100.0))
+        )
+
+    def test_just_before_window_untouched(self):
+        assert self._dram()._after_refresh(899.999) == 899.999
+
+    def test_exactly_on_window_edge_pushed(self):
+        # position == trefi - trfc is the first instant *inside* the
+        # refresh window: pushed to the next interval boundary.
+        assert self._dram()._after_refresh(900.0) == 1000.0
+
+    def test_inside_window_pushed(self):
+        assert self._dram()._after_refresh(950.0) == 1000.0
+
+    def test_exactly_on_interval_boundary_untouched(self):
+        # position == 0: the refresh just finished; commands may start.
+        assert self._dram()._after_refresh(1000.0) == 1000.0
+
+    def test_later_interval_edge(self):
+        assert self._dram()._after_refresh(2900.0) == 3000.0

@@ -266,3 +266,64 @@ class TestVulnerabilityIntegration:
             mode=ProtectionMode.UNPROTECTED, tracker=tracker, epochs=200
         ).run()
         assert tracker.report().error_rate_reduction == 0.0
+
+
+class TestDegenerateTraces:
+    """Zero-instruction / zero-access traces flow through the ratio
+    properties instead of dividing by zero."""
+
+    def test_perf_result_with_no_cores(self):
+        perf = PerfResult(
+            cores=(),
+            cpu_ghz=3.2,
+            llc_hits=0,
+            llc_misses=0,
+            dram_reads=0,
+            dram_writes=0,
+            row_hit_rate=0.0,
+        )
+        assert perf.total_cycles == 0.0
+        assert perf.ipc == 0.0
+        assert perf.core_ipcs == ()
+
+    def test_idle_core_has_zero_ipc(self):
+        from repro.simulation.system import CoreResult
+
+        perf = PerfResult(
+            cores=(CoreResult(), CoreResult(instructions=10, compute_ns=5.0)),
+            cpu_ghz=3.2,
+            llc_hits=0,
+            llc_misses=0,
+            dram_reads=0,
+            dram_writes=0,
+            row_hit_rate=0.0,
+        )
+        assert perf.core_ipcs[0] == 0.0
+        assert perf.core_ipcs[1] > 0.0
+
+    @pytest.mark.parametrize("use_batch", [False, True])
+    def test_empty_trace_run(self, use_batch):
+        """A system whose traces hold zero epochs completes with all
+        ratios at 0.0 — on the scalar path and the batch path alike."""
+        from repro.workloads.tracegen import EpochArrays
+
+        profile = PROFILES["gcc"]
+        config = SystemConfig(
+            llc_bytes=128 << 10, footprint_divider=16, use_batch=use_batch
+        )
+        generator = TraceGenerator(profile, seed=1, footprint_blocks=2048)
+        trace = (
+            generator.epoch_arrays(0) if use_batch else generator.epochs(0)
+        )
+        sim = MultiCoreSystem(
+            ProtectedMemory(ProtectionMode.COP),
+            [trace],
+            [BlockSource(profile, seed=1)],
+            [profile.perfect_ipc],
+            config,
+        )
+        perf = sim.run()
+        assert perf.instructions == 0
+        assert perf.ipc == 0.0
+        assert perf.row_hit_rate == 0.0
+        assert perf.core_ipcs == (0.0,)
